@@ -1,0 +1,1 @@
+bench/bench_util.ml: Buffer Char Filename Float Format Fractos_net Fractos_sim List Printf String

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Api Bench_util Engine Error Format Fractos_core Fractos_net Fractos_sim Fractos_testbed Ivar List Perms Printf Process State Time

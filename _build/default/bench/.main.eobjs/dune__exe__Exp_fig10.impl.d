@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Bench_util Engine Format Fractos_baselines Fractos_core Fractos_net Fractos_services Fractos_sim Fractos_testbed List Prng Storage_common

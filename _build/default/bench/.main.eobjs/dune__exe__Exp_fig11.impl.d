@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Bench_util Engine Format Fractos_baselines Fractos_net Fractos_sim Fractos_testbed Ivar List Prng Storage_common

@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Bench_util E2e_common Format Fractos_sim Fractos_testbed List Printf

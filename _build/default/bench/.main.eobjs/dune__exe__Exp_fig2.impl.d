@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Bench_util E2e_common Engine Format Fractos_net Fractos_sim Fractos_testbed List Printf Prng

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Api Bench_util Engine Error Format Fractos_core Fractos_net Fractos_sim Fractos_testbed Ivar List Perms Process

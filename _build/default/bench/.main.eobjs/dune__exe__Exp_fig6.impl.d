@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Api Bench_util Bytes Engine Error Format Fractos_core Fractos_net Fractos_sim Fractos_testbed List Printf State

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Bench_util Bytes Engine Format Fractos_baselines Fractos_core Fractos_services Fractos_sim Fractos_testbed List Printf

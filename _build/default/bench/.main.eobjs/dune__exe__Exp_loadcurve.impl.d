@@ -1,0 +1,1 @@
+bench/exp_loadcurve.ml: Bench_util E2e_common Engine Format Fractos_sim Fractos_testbed Fractos_workloads List Printf Prng

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Bench_util Engine Fractos_core Fractos_net Fractos_sim Fractos_testbed

@@ -1,0 +1,363 @@
+(* The fractos CLI: run simulated FractOS scenarios from the command line.
+
+   Subcommands:
+     fractos run        end-to-end face-verification scenario
+     fractos primitives core-primitive latencies (null op, RPC, copy)
+     fractos census     network-traffic census, FractOS vs baseline
+     fractos config     print the fabric/device calibration constants *)
+
+open Cmdliner
+open Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+module Tb = Fractos_testbed.Testbed
+module Cluster = Fractos_testbed.Cluster
+module Facedata = Fractos_workloads.Facedata
+open Fractos_services
+
+let ok_exn = Core.Error.ok_exn
+
+let placement_conv =
+  let parse = function
+    | "cpu" -> Ok Tb.Ctrl_cpu
+    | "snic" -> Ok Tb.Ctrl_snic
+    | "shared" -> Ok Tb.Ctrl_shared
+    | s -> Error (`Msg (Printf.sprintf "unknown placement %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with
+      | Tb.Ctrl_cpu -> "cpu"
+      | Tb.Ctrl_snic -> "snic"
+      | Tb.Ctrl_shared -> "shared")
+  in
+  Arg.conv (parse, print)
+
+let placement =
+  Arg.(
+    value
+    & opt placement_conv Tb.Ctrl_cpu
+    & info [ "p"; "placement" ] ~docv:"PLACEMENT"
+        ~doc:"Controller placement: cpu, snic or shared.")
+
+let batch =
+  Arg.(
+    value & opt int 16
+    & info [ "b"; "batch" ] ~docv:"N" ~doc:"Images per request.")
+
+let requests =
+  Arg.(
+    value & opt int 8
+    & info [ "n"; "requests" ] ~docv:"N" ~doc:"Number of requests to run.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let trace =
+  Arg.(
+    value & opt (some int) None
+    & info [ "trace" ] ~docv:"N"
+        ~doc:"Print the first $(docv) network messages of the run.")
+
+(* ---------------- run ---------------------------------------------- *)
+
+let run_cmd placement batch requests seed trace =
+  let img_size = 4096 and n_images = 4096 in
+  Tb.run (fun tb ->
+      let recorder = Fractos_net.Trace.recorder () in
+      let c = Cluster.make ~placement ~extent_size:(n_images * img_size) tb in
+      let db = Facedata.db ~img_size ~n:n_images in
+      ok_exn
+        (Faceverify.populate_db c.Cluster.app ~fs:c.Cluster.fs_cap
+           ~name:"facedb" ~content:db);
+      let fv =
+        ok_exn
+          (Faceverify.setup c.Cluster.app ~fs:c.Cluster.fs_cap
+             ~gpu_alloc:c.Cluster.gpu_alloc_cap
+             ~gpu_load:c.Cluster.gpu_load_cap ~db_name:"facedb" ~img_size
+             ~max_batch:batch ~depth:2)
+      in
+      let rng = Prng.create ~seed in
+      Format.printf "face-verification on FractOS: %d requests, batch %d@."
+        requests batch;
+      Net.Stats.reset (Cluster.stats c);
+      if trace <> None then
+        Net.Fabric.set_tracer tb.Tb.fabric
+          (Some (Net.Trace.record recorder));
+      for r = 1 to requests do
+        let start_id = Prng.int rng (n_images - batch) in
+        let probes =
+          Facedata.probe_batch ~img_size ~start_id ~batch ~impostor_every:5
+        in
+        let t0 = Engine.now () in
+        let flags = ok_exn (Faceverify.verify fv ~start_id ~batch ~probes) in
+        let matches =
+          Bytes.fold_left
+            (fun acc c -> if c = '\001' then acc + 1 else acc)
+            0 flags
+        in
+        Format.printf "  request %2d: ids %5d..%5d  %2d/%2d genuine  %s@." r
+          start_id
+          (start_id + batch - 1)
+          matches batch
+          (Time.to_string (Engine.now () - t0))
+      done;
+      Format.printf "@.%a@." Net.Stats.pp_census
+        (Net.Stats.census (Cluster.stats c));
+      match trace with
+      | Some n ->
+        Format.printf "@.first %d network messages:@." n;
+        Net.Trace.pp_timeline ~skip_local:true ~limit:n Format.std_formatter
+          recorder
+      | None -> ())
+
+(* ---------------- primitives --------------------------------------- *)
+
+let primitives_cmd placement =
+  Tb.run (fun tb ->
+      let setups = Tb.nodes_with_ctrls tb placement [ "a"; "b" ] in
+      let sa = List.nth setups 0 and sb = List.nth setups 1 in
+      let pa = Tb.add_proc tb ~on:sa.Tb.node ~ctrl:sa.Tb.ctrl "pa" in
+      let pb = Tb.add_proc tb ~on:sb.Tb.node ~ctrl:sb.Tb.ctrl "pb" in
+      let time label f =
+        f ();
+        let t0 = Engine.now () in
+        f ();
+        Format.printf "%-32s %s@." label (Time.to_string (Engine.now () - t0))
+      in
+      time "null syscall" (fun () -> ok_exn (Core.Api.null pa));
+      let svc = ok_exn (Core.Api.request_create pb ~tag:"svc" ()) in
+      let svc_a = Tb.grant ~src:pb ~dst:pa svc in
+      Engine.spawn (fun () ->
+          let rec loop () =
+            let d = Core.Api.receive pb in
+            (match List.rev d.Core.State.d_caps with
+            | k :: _ -> ignore (Core.Api.request_invoke pb k)
+            | [] -> ());
+            loop ()
+          in
+          loop ());
+      time "cross-node RPC" (fun () ->
+          let cont = ok_exn (Core.Api.request_create pa ~tag:"k" ()) in
+          let call =
+            ok_exn (Core.Api.request_derive pa svc_a ~caps:[ cont ] ())
+          in
+          ok_exn (Core.Api.request_invoke pa call);
+          ignore (Core.Api.receive pa));
+      let src =
+        ok_exn (Core.Api.memory_create pa (Core.Process.alloc pa 65536) Core.Perms.ro)
+      in
+      let dst =
+        Tb.grant ~src:pb ~dst:pa
+          (ok_exn
+             (Core.Api.memory_create pb (Core.Process.alloc pb 65536)
+                Core.Perms.rw))
+      in
+      time "64 KiB memory_copy" (fun () ->
+          ok_exn (Core.Api.memory_copy pa ~src ~dst));
+      let h = ok_exn (Core.Api.cap_create_revtree pb svc) in
+      time "revoke (revtree child)" (fun () ->
+          ignore (Core.Api.cap_revoke pb h));
+      Format.printf "@.controller footprint (node b):@.%a@."
+        Core.Controller.pp_memory_report
+        (Core.Controller.memory_report sb.Tb.ctrl))
+
+(* ---------------- census ------------------------------------------- *)
+
+let census_cmd batch =
+  let img_size = 4096 and n_images = 4096 and requests = 6 in
+  let module Dev = Fractos_device in
+  let module B = Fractos_baselines in
+  let cfg = Net.Config.default in
+  let fractos () =
+    Tb.run (fun tb ->
+        let c = Cluster.make ~extent_size:(n_images * img_size) tb in
+        let db = Facedata.db ~img_size ~n:n_images in
+        ok_exn
+          (Faceverify.populate_db c.Cluster.app ~fs:c.Cluster.fs_cap
+             ~name:"facedb" ~content:db);
+        let fv =
+          ok_exn
+            (Faceverify.setup c.Cluster.app ~fs:c.Cluster.fs_cap
+               ~gpu_alloc:c.Cluster.gpu_alloc_cap
+               ~gpu_load:c.Cluster.gpu_load_cap ~db_name:"facedb" ~img_size
+               ~max_batch:batch ~depth:1)
+        in
+        let rng = Prng.create ~seed:3 in
+        Net.Stats.reset (Cluster.stats c);
+        let t0 = Engine.now () in
+        for _ = 1 to requests do
+          let start_id = Prng.int rng (n_images - batch) in
+          let probes =
+            Facedata.probe_batch ~img_size ~start_id ~batch ~impostor_every:0
+          in
+          ignore (ok_exn (Faceverify.verify fv ~start_id ~batch ~probes))
+        done;
+        ( Net.Stats.census (Cluster.stats c),
+          (Engine.now () - t0) / requests ))
+  in
+  let baseline () =
+    Engine.run (fun () ->
+        let fab = Net.Fabric.create () in
+        let frontend =
+          Net.Fabric.add_node fab ~name:"frontend" Net.Node.Host_cpu
+        in
+        let nfs_server = Net.Fabric.add_node fab ~name:"nfs" Net.Node.Host_cpu in
+        let target = Net.Fabric.add_node fab ~name:"target" Net.Node.Wimpy_cpu in
+        let gpu_node = Net.Fabric.add_node fab ~name:"gpu" Net.Node.Host_cpu in
+        let ssd = Dev.Nvme.create ~node:target ~config:cfg ~capacity:(1 lsl 30) in
+        let gpu =
+          Dev.Gpu.create ~node:gpu_node ~config:cfg ~mem_bytes:(1 lsl 30)
+        in
+        Dev.Gpu.load_kernel gpu (Faceverify.kernel ~config:cfg);
+        let db = Facedata.db ~img_size ~n:n_images in
+        let fv =
+          Result.get_ok
+            (B.Faceverify_baseline.setup ~fabric:fab ~frontend ~nfs_server ~ssd
+               ~gpu ~db ~img_size ~max_batch:batch ~depth:1)
+        in
+        let rng = Prng.create ~seed:3 in
+        Net.Stats.reset (Net.Fabric.stats fab);
+        let t0 = Engine.now () in
+        for _ = 1 to requests do
+          let start_id = Prng.int rng (n_images - batch) in
+          let probes =
+            Facedata.probe_batch ~img_size ~start_id ~batch ~impostor_every:0
+          in
+          ignore
+            (Result.get_ok
+               (B.Faceverify_baseline.verify fv ~start_id ~batch ~probes))
+        done;
+        ( Net.Stats.census (Net.Fabric.stats fab),
+          (Engine.now () - t0) / requests ))
+  in
+  let fr, fr_lat = fractos () in
+  let bl, bl_lat = baseline () in
+  let pr name (c : Net.Stats.census) lat =
+    Format.printf
+      "%-20s msgs/req %-4d data-msgs/req %-4d bytes/req %-8d latency %s@." name
+      (c.net_messages / requests)
+      (c.net_data_messages / requests)
+      (c.net_bytes / requests) (Time.to_string lat)
+  in
+  Format.printf "traffic census, batch %d, %d requests:@." batch requests;
+  pr "FractOS" fr fr_lat;
+  pr "baseline" bl bl_lat;
+  Format.printf "reduction: %.1fx messages, %.1fx bytes, %.0f%% faster@."
+    (float_of_int bl.net_messages /. float_of_int fr.net_messages)
+    (float_of_int bl.net_bytes /. float_of_int fr.net_bytes)
+    ((Time.to_us_f bl_lat /. Time.to_us_f fr_lat -. 1.) *. 100.)
+
+(* ---------------- config ------------------------------------------- *)
+
+let config_cmd () =
+  let c = Net.Config.default in
+  let open Format in
+  printf "fabric:@.";
+  printf "  loopback one-way     %s@." (Time.to_string c.loopback_oneway);
+  printf "  wire one-way         %s@." (Time.to_string c.wire_oneway);
+  printf "  PCIe extra hop       %s@." (Time.to_string c.pcie_extra);
+  printf "  line rate            %d Gbps@." (c.net_bandwidth_bps / 1_000_000_000);
+  printf "  PCIe/DMA bandwidth   %d Gbps@."
+    (c.pcie_bandwidth_bps / 1_000_000_000);
+  printf "controller cost classes (host CPU):@.";
+  printf "  message handling     %s@." (Time.to_string c.c_msg);
+  printf "  table lookup         %s@." (Time.to_string c.c_lookup);
+  printf "  (de)serialization    %s@." (Time.to_string c.c_serialize);
+  printf "  capability transfer  %s@." (Time.to_string c.c_cap_transfer);
+  printf "sNIC multipliers: msg %.1fx lookup %.1fx serialize %.1fx cap %.1fx@."
+    c.snic_m_msg c.snic_m_lookup c.snic_m_serialize c.snic_m_cap;
+  printf "devices:@.";
+  printf "  NVMe 4K read         %s, write (cached) %s, QD %d@."
+    (Time.to_string c.nvme_read_latency)
+    (Time.to_string c.nvme_write_latency)
+    c.nvme_queue_depth;
+  printf "  GPU launch           %s, face-verify %s/image@."
+    (Time.to_string c.gpu_launch)
+    (Time.to_string c.gpu_per_image);
+  printf "copy path: chunk %d KiB, double buffering %b, hw copies %b@."
+    (c.bounce_chunk / 1024) c.double_buffering c.hw_copies;
+  printf "congestion window: %d outstanding responses@." c.congestion_window
+
+(* ---------------- topology ------------------------------------------ *)
+
+let topology_cmd placement =
+  Tb.run (fun tb ->
+      let c = Cluster.make ~placement tb in
+      Format.printf "canonical evaluation cluster:@.@.";
+      let nodes = Net.Fabric.nodes tb.Tb.fabric in
+      List.iter
+        (fun (n : Net.Node.t) ->
+          let attached =
+            match n.Net.Node.attached_to with
+            | Some h -> Printf.sprintf "  (on %s's PCIe)" h.Net.Node.name
+            | None -> ""
+          in
+          Format.printf "  %-14s %s%s@." n.Net.Node.name
+            (Net.Node.kind_to_string n.Net.Node.kind)
+            attached)
+        nodes;
+      Format.printf
+        "@.services: block adaptor + NVMe on 'storage', FS on 'fs', GPU \
+         adaptor + GPU on 'gpu', app on 'app'@.";
+      (* run a little traffic so the utilization report means something *)
+      let app = c.Cluster.app in
+      let proc = Fractos_services.Svc.proc app in
+      ok_exn (Fractos_services.Fs.create app ~fs:c.Cluster.fs_cap ~name:"t" ~size:262_144);
+      let h =
+        ok_exn (Fractos_services.Fs.open_ app ~fs:c.Cluster.fs_cap ~name:"t"
+                  Fractos_services.Fs.Fs_rw)
+      in
+      let src =
+        ok_exn (Core.Api.memory_create proc (Core.Process.alloc proc 262_144)
+                  Core.Perms.ro)
+      in
+      ok_exn (Fractos_services.Fs.write app h ~off:0 ~len:262_144 ~src);
+      Format.printf "@.NIC/DMA utilization after a 256 KiB FS write:@.";
+      Net.Fabric.pp_utilization Format.std_formatter
+        (Net.Fabric.utilization tb.Tb.fabric ~elapsed:(Engine.now ()));
+      Format.printf "@.controller memory footprints:@.";
+      List.iter
+        (fun ctrl ->
+          Format.printf "  controller %d (%s): %.1f MiB@."
+            Core.State.(ctrl.ctrl_id)
+            Core.State.(ctrl.cnode.Net.Node.name)
+            (float_of_int (Core.Controller.memory_report ctrl).Core.Controller.mr_total
+            /. 1024. /. 1024.))
+        tb.Tb.ctrls)
+
+(* ---------------- cmdliner wiring ----------------------------------- *)
+
+let run_t =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the end-to-end face-verification scenario")
+    Term.(const run_cmd $ placement $ batch $ requests $ seed $ trace)
+
+let primitives_t =
+  Cmd.v
+    (Cmd.info "primitives" ~doc:"Time core FractOS primitives")
+    Term.(const primitives_cmd $ placement)
+
+let census_t =
+  Cmd.v
+    (Cmd.info "census" ~doc:"Traffic census (see bench/main.exe -- fig2)")
+    Term.(const census_cmd $ batch)
+
+let config_t =
+  Cmd.v
+    (Cmd.info "config" ~doc:"Print the calibration constants")
+    Term.(const config_cmd $ const ())
+
+let topology_t =
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Show the evaluation cluster, link utilization and footprints")
+    Term.(const topology_cmd $ placement)
+
+let main =
+  Cmd.group
+    (Cmd.info "fractos" ~version:"1.0.0"
+       ~doc:"FractOS distributed-OS simulator (EuroSys'22 reproduction)")
+    [ run_t; primitives_t; census_t; config_t; topology_t ]
+
+let () = exit (Cmd.eval main)

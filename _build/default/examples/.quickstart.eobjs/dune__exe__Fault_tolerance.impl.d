@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Api Controller Engine Error Format Fractos_core Fractos_sim Fractos_testbed List State Time

@@ -1,0 +1,1 @@
+examples/kv_cache.ml: Api Args Blockdev Bytes Char Engine Error Format Fractos_core Fractos_net Fractos_services Fractos_sim Fractos_testbed Fs Kvstore Membuf Option Perms Process Result Svc Time

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Api Blockdev Bytes Engine Error Flow Format Fractos_core Fractos_services Fractos_sim Fractos_testbed Membuf Option Perms Process Svc Time

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Args Bytes Engine Error Format Fractos_core Fractos_net Fractos_sim Fractos_testbed List Membuf Perms Process State Time

@@ -1,0 +1,1 @@
+examples/storage_dax.ml: Api Array Bytes Char Engine Error Format Fractos_core Fractos_net Fractos_services Fractos_sim Fractos_testbed Fs Membuf Option Perms Process Svc Time

@@ -1,0 +1,117 @@
+(* Dataflow pipelines and leased resources — the §7 extensions.
+
+   A tenant leases the GPU from the resource-management service, expresses
+   the SSD -> GPU -> completion pipeline with the Flow combinators (which
+   compile to a chain of derived Requests executing peer-to-peer), and
+   when the tenant crashes, the manager reclaims the lease through the
+   capability monitors.
+
+     dune exec examples/dataflow.exe
+*)
+
+open Fractos_sim
+module Core = Fractos_core
+module Tb = Fractos_testbed.Testbed
+module Cluster = Fractos_testbed.Cluster
+module Facedata = Fractos_workloads.Facedata
+open Fractos_services
+open Core
+
+let ok_exn = Error.ok_exn
+
+let say who fmt =
+  Format.printf "[%-8s] t=%-9s " who (Time.to_string (Engine.now ()));
+  Format.printf (fmt ^^ "@.")
+
+let () =
+  Tb.run (fun tb ->
+      let c = Cluster.make ~extent_size:65536 tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let img_size = 512 and batch = 8 in
+
+      (* -------- operator: a resource manager in front of the GPU ----- *)
+      let rm_proc =
+        Tb.add_proc tb ~on:c.Cluster.gpu_node
+          ~ctrl:(Option.get (Process.controller (Svc.proc (Gpu_adaptor.svc c.Cluster.gpu_adaptor))))
+          "resman"
+      in
+      let gpu_proc = Svc.proc (Gpu_adaptor.svc c.Cluster.gpu_adaptor) in
+      let alloc_r, load_r, _ = Gpu_adaptor.base_requests c.Cluster.gpu_adaptor in
+      let rm =
+        Resman.start rm_proc
+          ~resources:
+            [
+              ("gpu.alloc", Tb.grant ~src:gpu_proc ~dst:rm_proc alloc_r, 4);
+              ("gpu.load", Tb.grant ~src:gpu_proc ~dst:rm_proc load_r, 4);
+            ]
+      in
+      let rm_cap = Tb.grant ~src:rm_proc ~dst:proc (Resman.base_request rm) in
+
+      (* -------- tenant: lease the GPU ------------------------------- *)
+      let _, alloc_lease = ok_exn (Resman.acquire app ~rm:rm_cap ~name:"gpu.alloc") in
+      let _, load_lease = ok_exn (Resman.acquire app ~rm:rm_cap ~name:"gpu.load") in
+      say "tenant" "leased the GPU (leases out: alloc=%d load=%d)"
+        (Resman.leases rm ~name:"gpu.alloc")
+        (Resman.leases rm ~name:"gpu.load");
+
+      (* -------- provision a volume with face images ------------------ *)
+      let data = Facedata.db ~img_size ~n:batch in
+      let vol =
+        ok_exn
+          (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+             ~size:65536)
+      in
+      let wbuf = Process.alloc proc (Bytes.length data) in
+      Membuf.write wbuf ~off:0 data;
+      let src = ok_exn (Api.memory_create proc wbuf Perms.ro) in
+      ok_exn
+        (Flow.run app
+           (Flow.blk_write ~req:vol.Blockdev.write_req ~off:0
+              ~len:(Bytes.length data) ~src));
+      say "tenant" "database written to the SSD volume";
+
+      (* -------- GPU buffers through the leased capabilities ---------- *)
+      let alloc size = ok_exn (Gpu_adaptor.alloc app ~alloc_req:alloc_lease ~size) in
+      let probe = alloc (batch * img_size) in
+      let db = alloc (batch * img_size) in
+      let out = alloc batch in
+      ok_exn (Api.memory_copy proc ~src ~dst:probe.Gpu_adaptor.mem);
+      let invoke_req =
+        ok_exn (Gpu_adaptor.load app ~load_req:load_lease ~name:Faceverify.kernel_name)
+      in
+
+      (* -------- the pipeline, as dataflow ---------------------------- *)
+      let pipeline =
+        Flow.(
+          blk_read ~req:vol.Blockdev.read_req ~off:0 ~len:(batch * img_size)
+            ~dst:db.Gpu_adaptor.mem
+          >>> gpu_kernel ~req:invoke_req ~items:batch
+                ~bufs:[ probe; db; out ]
+                ~user:[ Args.of_int batch; Args.of_int img_size ])
+      in
+      let t0 = Engine.now () in
+      ok_exn (Flow.run app pipeline);
+      say "tenant" "SSD->GPU pipeline completed in %s"
+        (Time.to_string (Engine.now () - t0));
+      let out_local = Process.alloc proc batch in
+      let dst = ok_exn (Api.memory_create proc out_local Perms.rw) in
+      ok_exn (Api.memory_copy proc ~src:out.Gpu_adaptor.mem ~dst);
+      let matches =
+        Bytes.fold_left
+          (fun acc ch -> if ch = '\001' then acc + 1 else acc)
+          0 (Membuf.read out_local ~off:0 ~len:batch)
+      in
+      say "tenant" "%d/%d faces verified against the on-disk database" matches
+        batch;
+
+      (* -------- tenant crashes: leases come home --------------------- *)
+      say "tenant" "** crashes **";
+      (match Process.controller proc with
+      | Some ctrl -> Controller.fail_process ctrl proc
+      | None -> ());
+      Engine.sleep (Time.ms 3);
+      say "resman" "leases reclaimed: %d (outstanding now alloc=%d load=%d)"
+        (Resman.reclaimed rm)
+        (Resman.leases rm ~name:"gpu.alloc")
+        (Resman.leases rm ~name:"gpu.load"))

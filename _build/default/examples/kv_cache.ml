@@ -1,0 +1,89 @@
+(* The key/value store with its two access paths: mediated get (value
+   through the KV Process, like FS mode) and locate + direct device read
+   (the DAX pattern applied to a higher-level service), plus log
+   compaction after churn.
+
+     dune exec examples/kv_cache.exe
+*)
+
+open Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+module Tb = Fractos_testbed.Testbed
+module Cluster = Fractos_testbed.Cluster
+open Fractos_services
+open Core
+
+let ok_exn = Error.ok_exn
+
+let () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      (* stand the store up next to the FS service *)
+      let kv_proc =
+        Tb.add_proc tb ~on:c.Cluster.fs_node
+          ~ctrl:(Option.get (Process.controller (Svc.proc (Fs.svc c.Cluster.fs))))
+          "kv"
+      in
+      let blk_proc = Svc.proc (Blockdev.svc c.Cluster.blk) in
+      let kv =
+        Result.get_ok
+          (Kvstore.start kv_proc
+             ~create_vol:
+               (Tb.grant ~src:blk_proc ~dst:kv_proc
+                  (Blockdev.create_vol_request c.Cluster.blk))
+             ~log_size:(1 lsl 20) ())
+      in
+      let kv_cap = Tb.grant ~src:kv_proc ~dst:proc (Kvstore.base_request kv) in
+
+      (* put a 16 KiB value (with some churn on a second key) *)
+      let value = Bytes.init 16384 (fun i -> Char.chr ((i * 7) land 0xff)) in
+      let put key data =
+        let b = Process.alloc proc (Bytes.length data) in
+        Membuf.write b ~off:0 data;
+        let src = ok_exn (Api.memory_create proc b Perms.ro) in
+        ok_exn (Kvstore.put app ~kv:kv_cap ~key ~src ~len:(Bytes.length data))
+      in
+      put "model-weights" value;
+      for round = 1 to 5 do
+        put "checkpoint" (Bytes.make 4096 (Char.chr (round + 48)))
+      done;
+      Format.printf "stored: %d keys, log %d B (includes churn garbage)@."
+        (Kvstore.entries kv) (Kvstore.log_used kv);
+
+      (* mediated get *)
+      let rbuf = Process.alloc proc 16384 in
+      let dst = ok_exn (Api.memory_create proc rbuf Perms.rw) in
+      let t0 = Engine.now () in
+      let len = ok_exn (Kvstore.get app ~kv:kv_cap ~key:"model-weights" ~dst) in
+      let get_time = Engine.now () - t0 in
+      assert (Bytes.equal (Membuf.read rbuf ~off:0 ~len) value);
+
+      (* locate + direct read: the KV Process steps out of the data path *)
+      let read_req, off, len' =
+        ok_exn (Kvstore.locate app ~kv:kv_cap ~key:"model-weights")
+      in
+      Membuf.fill rbuf '\000';
+      let t1 = Engine.now () in
+      let ok, _ =
+        ok_exn
+          (Svc.call_cont app ~svc:read_req
+             ~imms:[ Args.of_int off; Args.of_int len' ]
+             ~place:(fun ~ok ~err -> [ dst; ok; err ])
+             ())
+      in
+      let locate_time = Engine.now () - t1 in
+      assert ok;
+      assert (Bytes.equal (Membuf.read rbuf ~off:0 ~len:len') value);
+      Format.printf
+        "get (via KV process) %s;  locate + direct SSD read %s (%.2fx)@."
+        (Time.to_string get_time)
+        (Time.to_string locate_time)
+        (Time.to_us_f get_time /. Time.to_us_f locate_time);
+
+      (* compact away the checkpoint churn *)
+      let reclaimed = Result.get_ok (Kvstore.compact kv) in
+      Format.printf "compaction reclaimed %d B; log now %d B@." reclaimed
+        (Kvstore.log_used kv))

@@ -1,0 +1,81 @@
+(* Quickstart: the smallest useful FractOS program.
+
+   Two nodes, one Controller each, two Processes. The client registers a
+   buffer, the server exposes an "echo" service as a Request, and the
+   client calls it synchronously using the continuation-passing RPC
+   pattern (A -> B -> A'). Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+open Fractos_sim
+module Core = Fractos_core
+module Tb = Fractos_testbed.Testbed
+open Core
+
+let ok_exn = Error.ok_exn
+
+let () =
+  Tb.run (fun tb ->
+      (* --- operator: stand up the cluster ------------------------- *)
+      let node_a = Tb.add_host tb "node-a" in
+      let node_b = Tb.add_host tb "node-b" in
+      let ctrl_a = Tb.add_ctrl tb ~on:node_a in
+      let ctrl_b = Tb.add_ctrl tb ~on:node_b in
+      let client = Tb.add_proc tb ~on:node_a ~ctrl:ctrl_a "client" in
+      let server = Tb.add_proc tb ~on:node_b ~ctrl:ctrl_b "server" in
+
+      (* --- server: expose an echo service ------------------------- *)
+      let echo_req = ok_exn (Api.request_create server ~tag:"echo" ()) in
+      Engine.spawn (fun () ->
+          (* serve forever: double the int argument, reply via the
+             continuation Request that arrived as the last capability *)
+          let rec loop () =
+            let d = Api.receive server in
+            let x = Args.to_int (List.hd d.State.d_imms) in
+            let cont = List.hd d.State.d_caps in
+            Format.printf "[%-6s] t=%-10s echo(%d) received@."
+              "server" (Time.to_string (Engine.now ())) x;
+            let reply =
+              ok_exn
+                (Api.request_derive server cont ~imms:[ Args.of_int (2 * x) ] ())
+            in
+            ignore (Api.request_invoke server reply);
+            loop ()
+          in
+          loop ());
+
+      (* --- operator bootstrap: hand the client the service cap ----- *)
+      let echo_c = Tb.grant ~src:server ~dst:client echo_req in
+
+      (* --- client: one synchronous RPC ----------------------------- *)
+      let done_req = ok_exn (Api.request_create client ~tag:"done" ()) in
+      let call =
+        ok_exn
+          (Api.request_derive client echo_c ~imms:[ Args.of_int 21 ]
+             ~caps:[ done_req ] ())
+      in
+      let t0 = Engine.now () in
+      ok_exn (Api.request_invoke client call);
+      let resp = Api.receive client in
+      let answer = Args.to_int (List.hd resp.State.d_imms) in
+      Format.printf "[%-6s] t=%-10s echo(21) = %d  (latency %s)@." "client"
+        (Time.to_string (Engine.now ()))
+        answer
+        (Time.to_string (Engine.now () - t0));
+
+      (* --- a cross-node memory copy -------------------------------- *)
+      let buf = Process.alloc client 32 in
+      Membuf.write buf ~off:0 (Bytes.of_string "hello through the fabric!");
+      let src = ok_exn (Api.memory_create client buf Perms.ro) in
+      let server_buf = Process.alloc server 32 in
+      let dst_s = ok_exn (Api.memory_create server server_buf Perms.rw) in
+      let dst = Tb.grant ~src:server ~dst:client dst_s in
+      ok_exn (Api.memory_copy client ~src ~dst);
+      Format.printf "[%-6s] t=%-10s server buffer now: %S@." "client"
+        (Time.to_string (Engine.now ()))
+        (Bytes.to_string (Membuf.read server_buf ~off:0 ~len:25));
+
+      let census = Fractos_net.Stats.census (Fractos_net.Fabric.stats tb.Tb.fabric) in
+      Format.printf "network: %d messages, %d bytes@." census.net_messages
+        census.net_bytes)

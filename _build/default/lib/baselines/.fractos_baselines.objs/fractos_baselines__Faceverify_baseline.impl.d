@@ -1,0 +1,1 @@
+lib/baselines/faceverify_baseline.ml: Bytes Fractos_core Fractos_device Fractos_net Fractos_services Fractos_sim Nfs Nvmeof Rcuda

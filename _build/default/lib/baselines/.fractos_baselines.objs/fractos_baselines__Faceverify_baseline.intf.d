@@ -1,0 +1,1 @@
+lib/baselines/faceverify_baseline.mli: Fractos_device Fractos_net Fractos_sim

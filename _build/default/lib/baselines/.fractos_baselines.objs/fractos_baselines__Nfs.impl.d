@@ -1,0 +1,1 @@
+lib/baselines/nfs.ml: Bytes Fractos_net Fractos_sim Nvmeof

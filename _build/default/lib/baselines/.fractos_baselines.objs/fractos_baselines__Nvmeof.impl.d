@@ -1,0 +1,1 @@
+lib/baselines/nvmeof.ml: Bytes Fractos_device Fractos_net Fractos_sim List

@@ -1,0 +1,1 @@
+lib/baselines/nvmeof.mli: Fractos_device Fractos_net Fractos_sim

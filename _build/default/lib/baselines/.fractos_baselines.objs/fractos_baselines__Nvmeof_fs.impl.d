@@ -1,0 +1,1 @@
+lib/baselines/nvmeof_fs.ml: Api Args Error Fractos_core Fractos_services Membuf Nvmeof State

@@ -1,0 +1,1 @@
+lib/baselines/nvmeof_fs.mli: Fractos_core Fractos_services Nvmeof

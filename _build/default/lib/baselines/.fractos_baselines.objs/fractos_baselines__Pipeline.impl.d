@@ -1,0 +1,1 @@
+lib/baselines/pipeline.ml: Api Args Array Bytes Char Error Fractos_core Fractos_net Fractos_services Fractos_sim Hashtbl List Logs Membuf Perms Process State

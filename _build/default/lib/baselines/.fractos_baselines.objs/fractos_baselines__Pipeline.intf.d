@@ -1,0 +1,1 @@
+lib/baselines/pipeline.mli: Fractos_core Fractos_services Fractos_sim

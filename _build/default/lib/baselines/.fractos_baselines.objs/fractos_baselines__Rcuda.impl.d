@@ -1,0 +1,1 @@
+lib/baselines/rcuda.ml: Bytes Fractos_core Fractos_device Fractos_net Fractos_sim

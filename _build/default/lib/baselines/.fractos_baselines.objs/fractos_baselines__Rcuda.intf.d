@@ -1,0 +1,1 @@
+lib/baselines/rcuda.mli: Fractos_core Fractos_device Fractos_net Fractos_sim

@@ -1,0 +1,35 @@
+(** End-to-end face-verification baseline: NFS + NVMe-oF + rCUDA (§6.5).
+
+    The same workload as {!Fractos_services.Faceverify}, on the
+    disaggregation stack deployed today: the frontend fetches database
+    images from a remote file system over NFS, whose server is itself
+    backed by NVMe-over-Fabrics storage; image data is then copied to a
+    remote GPU through rCUDA. Data crosses the network three times
+    (storage target -> NFS server -> frontend -> GPU), against FractOS's
+    single SSD -> GPU transfer; the control plane is a star with eight
+    messages per request, against FractOS's five. *)
+
+module Sim = Fractos_sim
+module Net = Fractos_net
+module Device = Fractos_device
+
+type t
+
+val setup :
+  fabric:Net.Fabric.t ->
+  frontend:Net.Node.t ->
+  nfs_server:Net.Node.t ->
+  ssd:Device.Nvme.t ->
+  gpu:Device.Gpu.t ->
+  db:bytes ->
+  img_size:int ->
+  max_batch:int ->
+  depth:int ->
+  (t, string) result
+(** Provision the volume with the database bytes, mount NFS, connect
+    rCUDA, and pre-allocate [depth] GPU buffer sets. *)
+
+val verify :
+  t -> start_id:int -> batch:int -> probes:bytes -> (bytes, string) result
+(** One verification request on the baseline stack. Blocking; up to
+    [depth] concurrent callers. *)

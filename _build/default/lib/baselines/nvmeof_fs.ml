@@ -1,0 +1,78 @@
+module Core = Fractos_core
+module Services = Fractos_services
+module Svc = Services.Svc
+module Staging = Services.Staging
+open Core
+
+type t = {
+  fsvc : Svc.t;
+  backing : Nvmeof.t;
+  staging : Staging.t;
+  read_req : Api.cid;
+  write_req : Api.cid;
+}
+
+let invoke_cont svc cont = ignore (Api.request_invoke (Svc.proc svc) cont)
+
+let fail_cont svc caps code =
+  match caps with
+  | [ _; _; err ] -> (
+    match
+      Api.request_derive (Svc.proc svc) err ~imms:[ Args.of_int code ] ()
+    with
+    | Ok r -> ignore (Api.request_invoke (Svc.proc svc) r)
+    | Error _ -> ())
+  | _ -> ()
+
+let handle_read t svc d =
+  match (d.State.d_imms, d.State.d_caps) with
+  | [ off; len ], (dst_mem :: next :: _ as caps) -> (
+    let off = Args.to_int off and len = Args.to_int len in
+    match Nvmeof.read t.backing ~off ~len with
+    | Error _ -> fail_cont svc caps 1
+    | Ok data -> (
+      let res =
+        Staging.with_slot t.staging len (fun slot ->
+            Membuf.write slot.Staging.buf ~off:0 data;
+            Api.memory_copy (Svc.proc svc) ~src:slot.Staging.mem ~dst:dst_mem)
+      in
+      match res with
+      | Ok () -> invoke_cont svc next
+      | Error _ -> fail_cont svc caps 2))
+  | _, caps -> fail_cont svc caps 3
+
+let handle_write t svc d =
+  match (d.State.d_imms, d.State.d_caps) with
+  | [ off; len ], (src_mem :: next :: _ as caps) -> (
+    let off = Args.to_int off and len = Args.to_int len in
+    let res =
+      Staging.with_slot t.staging len (fun slot ->
+          match
+            Api.memory_copy (Svc.proc svc) ~src:src_mem ~dst:slot.Staging.mem
+          with
+          | Error _ as e -> e
+          | Ok () -> (
+            let data = Membuf.read slot.Staging.buf ~off:0 ~len in
+            match Nvmeof.write t.backing ~off data with
+            | Ok () -> Ok ()
+            | Error _ -> Error Error.Bounds))
+    in
+    match res with
+    | Ok () -> invoke_cont svc next
+    | Error _ -> fail_cont svc caps 2)
+  | _, caps -> fail_cont svc caps 3
+
+let start proc ~backing =
+  let fsvc = Svc.create proc in
+  let read_req = Error.ok_exn (Api.request_create proc ~tag:"bfs.read" ()) in
+  let write_req = Error.ok_exn (Api.request_create proc ~tag:"bfs.write" ()) in
+  let t =
+    { fsvc; backing; staging = Staging.create proc; read_req; write_req }
+  in
+  Svc.handle fsvc ~tag:"bfs.read" (handle_read t);
+  Svc.handle fsvc ~tag:"bfs.write" (handle_write t);
+  t
+
+let svc t = t.fsvc
+let read_request t = t.read_req
+let write_request t = t.write_req

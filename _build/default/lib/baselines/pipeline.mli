@@ -1,0 +1,55 @@
+(** Multi-stage processing pipelines in three coordination models (§6.2).
+
+    Data streams through N stages on distinct nodes; each stage applies a
+    byte transform (XOR with a per-stage mask, so tests can verify the data
+    really traversed every stage) and costs the generic service-work time.
+    The three models cover the design space of Fig. 1:
+
+    - {b Star} (centralized app {e and} data): the application pushes the
+      data to each stage and pulls it back — 2 data transfers and one
+      invoke round trip per stage (rCUDA-style).
+    - {b Fast_star} (centralized control, distributed data): the
+      application invokes each stage with the next stage's buffer as
+      destination; data moves stage-to-stage, control returns to the app
+      between stages (LegoOS-style).
+    - {b Chain} (fully distributed): one Request graph; each stage
+      forwards data and control to the next, and only the completion
+      returns to the app (the FractOS model).
+
+    All three run on FractOS itself — the comparison isolates the
+    coordination model, exactly as in the paper. *)
+
+module Sim = Fractos_sim
+module Core = Fractos_core
+module Services = Fractos_services
+
+type mode = Star | Fast_star | Chain
+
+val mode_name : mode -> string
+
+type t
+
+val deploy :
+  app:Services.Svc.t ->
+  stages:Core.Process.t list ->
+  max_size:int ->
+  grant:(src:Core.Process.t -> dst:Core.Process.t -> Core.Api.cid -> Core.Api.cid) ->
+  t
+(** Stand up one stage service per Process (each already attached to its
+    Controller) with a [max_size] buffer, and hand the app the stage
+    capabilities. [grant] is the operator bootstrap
+    ({!Fractos_testbed.Testbed.grant} — passed in to avoid a dependency
+    cycle). *)
+
+val run : t -> mode -> size:int -> (unit, Core.Error.t) result
+(** Push one [size]-byte datum through the pipeline; returns when the
+    application observes completion. *)
+
+val expected_output : t -> input:bytes -> bytes
+(** The transform the pipeline applies (for verification). *)
+
+val last_output : t -> size:int -> bytes
+(** The application-side buffer contents after a {!run}. *)
+
+val set_input : t -> bytes -> unit
+(** Fill the application-side buffer before a {!run}. *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Controller Error List Membuf Net Sim State Wire

@@ -1,0 +1,1 @@
+lib/core/api.mli: Args Error Membuf Perms Sim State

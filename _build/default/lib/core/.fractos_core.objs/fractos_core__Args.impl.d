@@ -1,0 +1,1 @@
+lib/core/args.ml: Bytes Char Format Int64 List

@@ -1,0 +1,1 @@
+lib/core/args.mli: Format

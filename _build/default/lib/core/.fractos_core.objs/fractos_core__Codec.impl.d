@@ -1,0 +1,1 @@
+lib/core/codec.ml: Args Buffer Bytes Char List Perms State String

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Bytes Error Format Hashtbl List Logs Membuf Net Objects Perms Printf Queue Sim State Wire

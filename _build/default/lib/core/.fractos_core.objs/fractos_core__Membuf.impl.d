@@ -1,0 +1,1 @@
+lib/core/membuf.ml: Bytes Format Fractos_net

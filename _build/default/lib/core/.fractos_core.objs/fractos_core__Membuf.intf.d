@@ -1,0 +1,1 @@
+lib/core/membuf.mli: Bytes Format Fractos_net

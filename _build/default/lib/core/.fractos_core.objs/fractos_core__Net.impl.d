@@ -1,0 +1,1 @@
+lib/core/net.ml: Fractos_net

@@ -1,0 +1,1 @@
+lib/core/objects.ml: Error Hashtbl List State

@@ -1,0 +1,1 @@
+lib/core/perms.mli: Format

@@ -1,0 +1,1 @@
+lib/core/process.ml: Format Membuf Net Sim State

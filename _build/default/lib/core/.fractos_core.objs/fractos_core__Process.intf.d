@@ -1,0 +1,1 @@
+lib/core/process.mli: Controller Format Membuf Net State

@@ -1,0 +1,1 @@
+lib/core/sim.ml: Fractos_sim

@@ -1,0 +1,1 @@
+lib/core/state.ml: Args Error Format Hashtbl Membuf Net Perms Queue Sim

@@ -1,0 +1,103 @@
+open State
+
+type cid = int
+
+(* Post one syscall, returning the completion ivar. The user-side cost of
+   building and posting the descriptor is charged to the calling fiber;
+   the syscall itself proceeds asynchronously (Table 1: "all syscalls are
+   fully asynchronous and posted into a message-passing channel"). *)
+let call_async (proc : proc) ~size build =
+  let iv = Sim.Ivar.create () in
+  (match proc.pctrl with
+  | None ->
+    Sim.Ivar.fill iv
+      (Error (Error.Bad_argument "process not attached to a controller"))
+  | Some ctrl ->
+    if not proc.alive then
+      Sim.Ivar.fill iv (Error (Error.Bad_argument "process is dead"))
+    else begin
+      let cfg = Controller.config ctrl in
+      Sim.Engine.sleep cfg.Net.Config.proc_syscall;
+      let reply = { r_ivar = iv; r_proc = proc } in
+      Controller.enqueue_syscall ctrl (build reply) ~size ~src:proc.pnode
+    end);
+  iv
+
+(* Synchronous veneer: post and await. *)
+let call proc ~size build = Sim.Ivar.await (call_async proc ~size build)
+
+let null proc =
+  call proc ~size:(Wire.syscall ()) (fun reply -> Sys_null reply)
+
+let memory_create proc ?(off = 0) ?len buf perms =
+  let len = match len with Some l -> l | None -> Membuf.size buf - off in
+  call proc ~size:(Wire.syscall ()) (fun reply ->
+      Sys_mem_create { buf; off; len; perms; reply })
+
+let memory_diminish proc cid ~off ~len ~drop =
+  call proc ~size:(Wire.syscall ()) (fun reply ->
+      Sys_mem_diminish { cid; off; len; drop; reply })
+
+let memory_copy proc ~src ~dst =
+  call proc ~size:(Wire.syscall ~caps:2 ()) (fun reply ->
+      Sys_mem_copy { src; dst; reply })
+
+let memory_copy_async proc ~src ~dst =
+  call_async proc ~size:(Wire.syscall ~caps:2 ()) (fun reply ->
+      Sys_mem_copy { src; dst; reply })
+
+let request_create proc ~tag ?(imms = []) ?(caps = []) () =
+  call proc
+    ~size:(Wire.syscall ~imms ~caps:(List.length caps) ())
+    (fun reply -> Sys_req_create { tag; imms; caps; reply })
+
+let request_derive proc parent ?(imms = []) ?(caps = []) () =
+  call proc
+    ~size:(Wire.syscall ~imms ~caps:(1 + List.length caps) ())
+    (fun reply -> Sys_req_derive { parent; imms; caps; reply })
+
+let request_invoke proc cid =
+  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+      Sys_req_invoke { cid; reply })
+
+let request_invoke_async proc cid =
+  call_async proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+      Sys_req_invoke { cid; reply })
+
+let credit (proc : proc) =
+  match proc.pctrl with
+  | None -> ()
+  | Some ctrl ->
+    Controller.enqueue_syscall ctrl (Sys_credit proc) ~size:Wire.credit
+      ~src:proc.pnode
+
+let receive (proc : proc) =
+  let d = Sim.Channel.recv proc.inbox in
+  credit proc;
+  d
+
+let try_receive (proc : proc) =
+  match Sim.Channel.try_recv proc.inbox with
+  | Some d ->
+    credit proc;
+    Some d
+  | None -> None
+
+let cap_create_revtree proc cid =
+  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+      Sys_revtree_create { cid; reply })
+
+let cap_revoke proc cid =
+  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+      Sys_revoke { cid; reply })
+
+let monitor_delegate proc cid ~cb =
+  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+      Sys_mon_delegate { cid; cb; reply })
+
+let monitor_receive proc cid ~cb =
+  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+      Sys_mon_receive { cid; cb; reply })
+
+let monitor_next (proc : proc) = Sim.Channel.recv proc.monitor_box
+let try_monitor_next (proc : proc) = Sim.Channel.try_recv proc.monitor_box

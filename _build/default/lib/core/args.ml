@@ -1,0 +1,28 @@
+type imm = bytes
+
+let framing_bytes = 4 (* length prefix per immediate *)
+
+let wire_size imms =
+  List.fold_left (fun acc i -> acc + framing_bytes + Bytes.length i) 0 imms
+
+let of_int v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  b
+
+let to_int b =
+  if Bytes.length b <> 8 then invalid_arg "Args.to_int: not an int immediate";
+  Int64.to_int (Bytes.get_int64_le b 0)
+
+let of_string s = Bytes.of_string s
+let to_string b = Bytes.to_string b
+
+let pp fmt b =
+  let n = Bytes.length b in
+  let shown = min n 8 in
+  Format.fprintf fmt "imm[%d:" n;
+  for i = 0 to shown - 1 do
+    Format.fprintf fmt "%02x" (Char.code (Bytes.get b i))
+  done;
+  if n > shown then Format.fprintf fmt "...";
+  Format.fprintf fmt "]"

@@ -1,0 +1,1166 @@
+open State
+
+type t = ctrl
+
+let next_ctrl_id = ref 0
+let next_copy_id = ref 0
+
+let config ctrl = Net.Fabric.config ctrl.fabric
+let kind ctrl = ctrl.cnode.Net.Node.kind
+
+(* Charge controller software cost: occupies one of the controller's two
+   cores for the class-scaled duration (queueing under load is implicit). *)
+let charge ctrl units =
+  let d = Net.Cost.v (config ctrl) (kind ctrl) units in
+  if d > 0 then Sim.Resource.use ctrl.cpu ~duration:d
+
+let charge_scaled ctrl cls base =
+  let d = Net.Cost.scaled (config ctrl) (kind ctrl) cls base in
+  if d > 0 then Sim.Resource.use ctrl.cpu ~duration:d
+
+(* ------------------------------------------------------------------ *)
+(* Messaging helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let reply_to ctrl (r : _ reply) v =
+  charge ctrl [ (Net.Cost.Msg, 1) ];
+  Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:r.r_proc.pnode
+    ~size:Wire.response (fun () -> Sim.Ivar.fill r.r_ivar v)
+
+let rreply_to ctrl (rr : _ rreply) v =
+  charge ctrl [ (Net.Cost.Msg, 1) ];
+  Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:rr.rr_ctrl.cnode
+    ~size:Wire.response (fun () -> Sim.Ivar.fill rr.rr_ivar v)
+
+let send_peer ctrl (dst : ctrl) ~size msg =
+  Net.Endpoint.post ctrl.fabric ~src:ctrl.cnode dst.peer_ep ~size msg
+
+let peer_of_addr ctrl addr =
+  if addr.a_ctrl = ctrl.ctrl_id then Some ctrl
+  else List.find_opt (fun c -> c.ctrl_id = addr.a_ctrl) ctrl.peers
+
+(* Run a peer operation at the owner of [addr]: locally when we are the
+   owner, otherwise by sending [make_msg] and awaiting the remote reply.
+   [serialize] charges the wire-marshaling cost class on the sending side. *)
+let at_owner ctrl addr ~size ~local ~make_msg =
+  if addr.a_ctrl = ctrl.ctrl_id then local ()
+  else
+    match peer_of_addr ctrl addr with
+    | None -> Error Error.Ctrl_unreachable
+    | Some peer ->
+      charge ctrl [ (Net.Cost.Serialize, 1) ];
+      let iv = Sim.Ivar.create () in
+      send_peer ctrl peer ~size (make_msg { rr_ivar = iv; rr_ctrl = ctrl });
+      Sim.Ivar.await iv
+
+(* ------------------------------------------------------------------ *)
+(* Capability spaces                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let space_of ctrl (proc : proc) =
+  match Hashtbl.find_opt ctrl.capspaces proc.pid with
+  | Some s -> Ok s
+  | None -> Error (Error.Bad_argument "process not attached to controller")
+
+(* Insert a capability, enforcing the per-Process quota and — under the
+   track_delegations ablation — notifying the remote owner's reference
+   count (on the critical path: exactly the cost the paper's design
+   avoids). *)
+let insert_cap ctrl space addr ~counts =
+  let cfg = config ctrl in
+  if Hashtbl.length space.cs_caps >= cfg.capspace_quota then
+    Error Error.Quota_exceeded
+  else begin
+    let cid = space.cs_next in
+    space.cs_next <- cid + 1;
+    Hashtbl.replace space.cs_caps cid
+      { e_addr = addr; e_delegator = false; e_counts = counts };
+    if cfg.track_delegations then
+      if addr.a_ctrl = ctrl.ctrl_id then (
+        match Hashtbl.find_opt ctrl.objects addr.a_oid with
+        | Some obj -> obj.o_remote_refs <- obj.o_remote_refs + 1
+        | None -> ())
+      else (
+        match peer_of_addr ctrl addr with
+        | Some peer ->
+          (* reliable tracking: wait for the owner's acknowledgment — the
+             critical-path cost the paper's design avoids *)
+          let iv = Sim.Ivar.create () in
+          send_peer ctrl peer ~size:Wire.credit
+            (P_ref_inc { addr; reply = { rr_ivar = iv; rr_ctrl = ctrl } });
+          ignore (Sim.Ivar.await iv)
+        | None -> ());
+    Ok cid
+  end
+
+let resolve_cid ctrl proc cid =
+  match space_of ctrl proc with
+  | Error _ as e -> e
+  | Ok space -> (
+    match Hashtbl.find_opt space.cs_caps cid with
+    | Some entry -> Ok entry
+    | None -> Error Error.Invalid_cap)
+
+(* Resolve a list of capability arguments to (addr, monitored) pairs, where
+   monitored records whether the argument came from a monitor_delegator
+   capability (its delegation must be counted, §3.6). *)
+let resolve_cap_args ctrl proc cids =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | cid :: rest -> (
+      match resolve_cid ctrl proc cid with
+      | Error e -> Error e
+      | Ok entry -> go ((entry.e_addr, entry.e_delegator) :: acc) rest)
+  in
+  go [] cids
+
+(* ------------------------------------------------------------------ *)
+(* Monitor plumbing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let post_monitor_event ctrl (watcher : proc) ev =
+  charge ctrl [ (Net.Cost.Msg, 1) ];
+  Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:watcher.pnode
+    ~size:Wire.monitor_cb (fun () ->
+      if watcher.alive then Sim.Channel.send watcher.monitor_box ev)
+
+(* Fire-and-forget counter update at the owner of a monitored delegator
+   object. *)
+let send_counter ctrl addr msg_of_addr =
+  (* Even self-directed updates travel the loopback queue pair, so the
+     accounting is uniform across placements. *)
+  match peer_of_addr ctrl addr with
+  | None -> ()
+  | Some peer -> send_peer ctrl peer ~size:Wire.credit (msg_of_addr addr)
+
+let apply_increment ctrl addr =
+  match Objects.find ctrl addr with
+  | Error _ -> ()
+  | Ok obj -> (
+    match obj.o_mon_delegator with
+    | Some md -> md.md_outstanding <- md.md_outstanding + 1
+    | None -> ())
+
+let apply_decrement ctrl addr =
+  match Hashtbl.find_opt ctrl.objects addr.a_oid with
+  | None -> ()
+  | Some obj when addr.a_epoch <> ctrl.epoch -> ignore obj
+  | Some obj -> (
+    match obj.o_mon_delegator with
+    | Some md ->
+      md.md_outstanding <- md.md_outstanding - 1;
+      if md.md_outstanding = 0 && md.md_watcher.alive then
+        post_monitor_event ctrl md.md_watcher (Delegate_cb md.md_cb)
+    | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Entry removal (revocation / cleanup / death all funnel here)        *)
+(* ------------------------------------------------------------------ *)
+
+let drop_entry ctrl space cid (entry : entry) =
+  Hashtbl.remove space.cs_caps cid;
+  if (config ctrl).track_delegations then begin
+    let addr = entry.e_addr in
+    if addr.a_ctrl = ctrl.ctrl_id then (
+      match Hashtbl.find_opt ctrl.objects addr.a_oid with
+      | Some obj ->
+        obj.o_remote_refs <- obj.o_remote_refs - 1;
+        if (not obj.o_valid) && obj.o_remote_refs <= 0 then
+          Objects.remove ctrl addr.a_oid
+      | None -> ())
+    else
+      match peer_of_addr ctrl addr with
+      | Some peer -> send_peer ctrl peer ~size:Wire.credit (P_ref_dec { addr })
+      | None -> ()
+  end;
+  match entry.e_counts with
+  | Some a -> send_counter ctrl a (fun addr -> P_decrement { addr })
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Revocation at the owner                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove local capability entries referencing [addr]; part of the cleanup
+   step (the owner also cleans itself). *)
+let cleanup_local ctrl addr =
+  Hashtbl.iter
+    (fun _pid space ->
+      let doomed =
+        Hashtbl.fold
+          (fun cid entry acc ->
+            if addr_equal entry.e_addr addr then (cid, entry) :: acc else acc)
+          space.cs_caps []
+      in
+      List.iter (fun (cid, entry) -> drop_entry ctrl space cid entry) doomed)
+    ctrl.capspaces
+
+(* Broadcast-based cleanup (§3.5: outside the critical path): ask every
+   peer to drop capabilities referencing the invalidated objects, then
+   delete the tombstones. *)
+let cleanup_broadcast ctrl addrs =
+  Sim.Engine.spawn (fun () ->
+      List.iter (fun addr -> cleanup_local ctrl addr) addrs;
+      let acks =
+        List.concat_map
+          (fun peer ->
+            List.map
+              (fun addr ->
+                let iv = Sim.Ivar.create () in
+                charge ctrl [ (Net.Cost.Msg, 1) ];
+                send_peer ctrl peer ~size:Wire.peer_fixed
+                  (P_cleanup { addr; reply = { rr_ivar = iv; rr_ctrl = ctrl } });
+                iv)
+              addrs)
+          ctrl.peers
+      in
+      List.iter (fun iv -> ignore (Sim.Ivar.await iv)) acks;
+      List.iter (fun addr -> Objects.remove ctrl addr.a_oid) addrs)
+
+(* Invalidate an object subtree at this controller (we are the owner):
+   immediate revocation, monitor_receive callbacks, then async cleanup. *)
+let invalidate_at_owner ctrl obj =
+  let invalidated = Objects.invalidate ctrl obj in
+  charge ctrl [ (Net.Cost.Revoke, List.length invalidated) ];
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (watcher, cb) ->
+          if watcher.alive then post_monitor_event ctrl watcher (Receive_cb cb))
+        o.o_mon_receivers)
+    invalidated;
+  let addrs =
+    List.map
+      (fun o -> { a_ctrl = ctrl.ctrl_id; a_epoch = ctrl.epoch; a_oid = o.o_id })
+      invalidated
+  in
+  if (config ctrl).track_delegations then
+    (* reference-counted cleanup (ablation): no broadcast — tombstones die
+       when their remote reference count drains; unreferenced ones now *)
+    List.iter
+      (fun o -> if o.o_remote_refs <= 0 then Objects.remove ctrl o.o_id)
+      invalidated
+  else if addrs <> [] then cleanup_broadcast ctrl addrs
+
+let do_revoke ctrl addr =
+  charge ctrl [ (Net.Cost.Lookup, 1) ];
+  match Objects.find ctrl addr with
+  | Error e -> Error e
+  | Ok obj ->
+    invalidate_at_owner ctrl obj;
+    Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Memory diminish / revtree at the owner                              *)
+(* ------------------------------------------------------------------ *)
+
+let do_diminish ctrl addr ~off ~len ~drop =
+  charge ctrl [ (Net.Cost.Lookup, 2) ];
+  match Objects.find ctrl addr with
+  | Error e -> Error e
+  | Ok obj -> (
+    match Objects.resolve_payload ctrl obj with
+    | Error e -> Error e
+    | Ok (payload, _hops) -> (
+      match payload.o_kind with
+      | O_memory m ->
+        if off < 0 || len < 0 || off + len > m.m_len then Error Error.Bounds
+        else begin
+          let child_mem =
+            {
+              m_buf = m.m_buf;
+              m_off = m.m_off + off;
+              m_len = len;
+              m_perms = Perms.drop m.m_perms ~drop;
+              m_owner = m.m_owner;
+            }
+          in
+          Ok (Objects.add_memory ctrl ~parent:obj child_mem)
+        end
+      | O_request _ | O_indirect ->
+        Error (Error.Bad_argument "memory_diminish on a non-Memory object")))
+
+let do_revtree ctrl addr =
+  charge ctrl [ (Net.Cost.Lookup, 1) ];
+  match Objects.find ctrl addr with
+  | Error e -> Error e
+  | Ok obj -> Ok (Objects.add_indirect ctrl ~parent:obj)
+
+(* ------------------------------------------------------------------ *)
+(* Request invocation chain                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rreply_opt ctrl rr v =
+  match rr with
+  | Some rr -> rreply_to ctrl rr v
+  | None -> (
+    match v with
+    | Ok () -> ()
+    | Error e ->
+      (* already acknowledged: chain-tail failures are the application's
+         business (error continuations); we only log them *)
+      Logs.debug (fun m ->
+          m "invoke chain failed past the ack point: %s" (Error.to_string e)))
+
+(* Deliver a fully materialized request to its provider process, delegating
+   capability arguments into the provider's space. *)
+let deliver ctrl (r : req) imms caps rr =
+  let provider = r.r_provider in
+  if not provider.alive then rreply_opt ctrl rr (Error Error.Provider_dead)
+  else
+    match space_of ctrl provider with
+    | Error e -> rreply_opt ctrl rr (Error e)
+    | Ok space ->
+      charge ctrl [ (Net.Cost.Cap_transfer, List.length caps) ];
+      let delegated =
+        List.fold_left
+          (fun acc (addr, monitored) ->
+            match acc with
+            | Error _ as e -> e
+            | Ok cids -> (
+              let counts = if monitored then Some addr else None in
+              match insert_cap ctrl space addr ~counts with
+              | Error _ as e -> e
+              | Ok cid ->
+                if monitored then
+                  send_counter ctrl addr (fun addr -> P_increment { addr });
+                Ok (cid :: cids)))
+          (Ok []) caps
+      in
+      match delegated with
+      | Error e -> rreply_opt ctrl rr (Error e)
+      | Ok rev_cids ->
+      let cids = List.rev rev_cids in
+      let window =
+        match Hashtbl.find_opt ctrl.windows provider.pid with
+        | Some w -> w
+        | None -> assert false
+      in
+      Sim.Semaphore.acquire window;
+      let size = Wire.invoke ~imms ~caps:(List.length caps) in
+      Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:provider.pnode ~size
+        (fun () ->
+          if provider.alive then
+            Sim.Channel.send provider.inbox
+              { d_tag = r.r_tag; d_imms = imms; d_caps = cids });
+      rreply_opt ctrl rr (Ok ())
+
+(* Process one hop of an invocation: [addr] names a Request object at this
+   controller; [suffix] holds the arguments accumulated from more-derived
+   Requests. Either deliver (root) or forward toward the parent. The
+   caller's posting acknowledgment is sent by the first owner that
+   validates the invocation; forwarded hops carry no reply path. *)
+let rec do_invoke ctrl addr suffix_imms suffix_caps rr =
+  charge ctrl [ (Net.Cost.Lookup, 1) ];
+  match Objects.find ctrl addr with
+  | Error e -> rreply_opt ctrl rr (Error e)
+  | Ok obj -> (
+    match Objects.resolve_payload ctrl obj with
+    | Error e -> rreply_opt ctrl rr (Error e)
+    | Ok (payload, hops) -> (
+      charge ctrl [ (Net.Cost.Lookup, hops) ];
+      match payload.o_kind with
+      | O_request r -> (
+        let imms = r.r_imms @ suffix_imms in
+        let caps = r.r_caps @ suffix_caps in
+        match r.r_parent with
+        | None -> deliver ctrl r imms caps rr
+        | Some parent_addr ->
+          if parent_addr.a_ctrl = ctrl.ctrl_id then
+            do_invoke ctrl parent_addr imms caps rr
+          else (
+            match peer_of_addr ctrl parent_addr with
+            | None -> rreply_opt ctrl rr (Error Error.Ctrl_unreachable)
+            | Some peer ->
+              charge ctrl [ (Net.Cost.Serialize, 1) ];
+              (* acknowledge the posting before forwarding: the local part
+                 of the chain validated *)
+              rreply_opt ctrl rr (Ok ());
+              let size = Wire.invoke ~imms ~caps:(List.length caps) in
+              send_peer ctrl peer ~size
+                (P_invoke
+                   {
+                     addr = parent_addr;
+                     suffix_imms = imms;
+                     suffix_caps = caps;
+                     reply = None;
+                   })))
+      | O_memory _ | O_indirect ->
+        rreply_opt ctrl rr
+          (Error (Error.Bad_argument "request_invoke on a non-Request object"))))
+
+(* ------------------------------------------------------------------ *)
+(* memory_copy engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let chunk_sizes total chunk =
+  let rec go off acc =
+    if off >= total then List.rev acc
+    else
+      let n = min chunk (total - off) in
+      go (off + n) ((off, n) :: acc)
+  in
+  if total = 0 then [ (0, 0) ] else go 0 []
+
+(* Destination side: one writer fiber per copy session, consuming in-order
+   chunks, staging them through the bounce buffer and RDMA-writing into the
+   destination process's memory. *)
+let start_copy_session ctrl ~copy_id ~dst_mem =
+  let chan = Sim.Channel.create () in
+  Hashtbl.replace ctrl.copy_sessions copy_id chan;
+  Sim.Engine.spawn (fun () ->
+      let cfg = config ctrl in
+      let rec loop () =
+        let ck = Sim.Channel.recv chan in
+        let len = Bytes.length ck.ck_data in
+        (* staging memcpy through the bounce buffer *)
+        if len > 0 then
+          Sim.Resource.use ctrl.cpu
+            ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
+        if len > 0 then
+          Membuf.write dst_mem.m_buf ~off:(dst_mem.m_off + ck.ck_off) ck.ck_data;
+        (* RDMA write from the bounce buffer into process memory *)
+        if len > 0 then
+          Net.Fabric.transfer ctrl.fabric ~src:ctrl.cnode
+            ~dst:dst_mem.m_buf.Membuf.node ~cls:Net.Stats.Data ~size:len ();
+        match ck.ck_last with
+        | Some rr ->
+          Hashtbl.remove ctrl.copy_sessions copy_id;
+          rreply_to ctrl rr (Ok ())
+        | None -> loop ()
+      in
+      loop ())
+
+(* Validate and open a copy session on the first (optimistic) chunk. On
+   failure the error is parked until the final chunk's reply path. *)
+let do_copy_open ctrl ~copy_id ~dst ~total =
+  charge ctrl [ (Net.Cost.Lookup, 2) ];
+  let validated =
+    match Objects.find ctrl dst with
+    | Error e -> Error e
+    | Ok obj -> (
+      match Objects.resolve_payload ctrl obj with
+      | Error e -> Error e
+      | Ok (payload, _) -> (
+        match payload.o_kind with
+        | O_memory m ->
+          if not m.m_perms.Perms.write then Error Error.Perm_denied
+          else if total > m.m_len then Error Error.Bounds
+          else if not m.m_owner.alive then Error Error.Provider_dead
+          else Ok m
+        | O_request _ | O_indirect ->
+          Error (Error.Bad_argument "memory_copy destination is not Memory")))
+  in
+  match validated with
+  | Ok m ->
+    start_copy_session ctrl ~copy_id ~dst_mem:m;
+    Ok ()
+  | Error e ->
+    Hashtbl.replace ctrl.copy_failures copy_id e;
+    Error e
+
+(* Source side (we own the source object): validate, open the session at
+   the destination owner, then stream chunks. With double buffering the
+   next chunk is read while the previous one is on the wire; without it we
+   run chunks strictly in series (ablation). The final chunk carries the
+   original caller's ack, so completion is signaled by the destination
+   controller directly to the origin (paper's decentralized data path). *)
+let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
+  let cfg = config ctrl in
+  charge_scaled ctrl Net.Cost.Serialize cfg.copy_setup;
+  charge ctrl [ (Net.Cost.Lookup, 2) ];
+  match Objects.find ctrl src with
+  | Error e -> rreply_to ctrl rr (Error e)
+  | Ok obj -> (
+    match Objects.resolve_payload ctrl obj with
+    | Error e -> rreply_to ctrl rr (Error e)
+    | Ok (payload, _) -> (
+      match payload.o_kind with
+      | O_memory m -> (
+        if not m.m_perms.Perms.read then
+          rreply_to ctrl rr (Error Error.Perm_denied)
+        else
+          match peer_of_addr ctrl dst with
+          | None -> rreply_to ctrl rr (Error Error.Ctrl_unreachable)
+          | Some dst_ctrl ->
+            incr next_copy_id;
+            let copy_id = !next_copy_id in
+            let chunks = chunk_sizes m.m_len cfg.bounce_chunk in
+            let n = List.length chunks in
+            List.iteri
+              (fun i (off, len) ->
+                (* RDMA read from source process memory into the bounce
+                   buffer *)
+                if len > 0 then
+                  Net.Fabric.transfer ctrl.fabric ~src:m.m_buf.Membuf.node
+                    ~dst:ctrl.cnode ~cls:Net.Stats.Data ~size:len ();
+                if len > 0 then
+                  Sim.Resource.use ctrl.cpu
+                    ~duration:
+                      (Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
+                let data =
+                  if len = 0 then Bytes.empty
+                  else Membuf.read m.m_buf ~off:(m.m_off + off) ~len
+                in
+                let last = i = n - 1 in
+                let ck =
+                  {
+                    ck_off = off;
+                    ck_data = data;
+                    ck_last = (if last then Some rr else None);
+                  }
+                in
+                let size = len + Wire.chunk_header in
+                let msg =
+                  if i = 0 then
+                    (* the first chunk opens the session optimistically *)
+                    P_copy_open { copy_id; dst; total = m.m_len; chunk = ck }
+                  else P_copy_chunk { copy_id; chunk = ck }
+                in
+                Net.Endpoint.post ctrl.fabric ~src:ctrl.cnode dst_ctrl.peer_ep
+                  ~cls:Net.Stats.Data ~size msg;
+                if not cfg.double_buffering then
+                  (* strict serial chunks: wait out the wire time before
+                     reading the next chunk *)
+                  Net.Fabric.transfer ctrl.fabric ~src:ctrl.cnode
+                    ~dst:dst_ctrl.cnode ~cls:Net.Stats.Control ~size:1 ())
+              chunks)
+      | O_request _ | O_indirect ->
+        rreply_to ctrl rr
+          (Error (Error.Bad_argument "memory_copy source is not Memory"))))
+
+(* Hardware third-party RDMA (the paper's "HW copies" projection): the
+   caller's controller programs the NIC; data moves once, directly between
+   the two process buffers, with no controller staging. *)
+let do_copy_hw ctrl ~src_mem ~dst_mem (rr : unit rreply) =
+  Membuf.blit ~src:src_mem.m_buf ~src_off:src_mem.m_off ~dst:dst_mem.m_buf
+    ~dst_off:dst_mem.m_off ~len:src_mem.m_len;
+  Net.Fabric.send ctrl.fabric ~src:src_mem.m_buf.Membuf.node
+    ~dst:dst_mem.m_buf.Membuf.node ~cls:Net.Stats.Data ~size:src_mem.m_len
+    (fun () ->
+      Net.Fabric.send ctrl.fabric ~src:dst_mem.m_buf.Membuf.node
+        ~dst:rr.rr_ctrl.cnode ~size:Wire.response (fun () ->
+          Sim.Ivar.fill rr.rr_ivar (Ok ())))
+
+(* ------------------------------------------------------------------ *)
+(* Syscall handlers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sys_mem_create ctrl ~caller buf ~off ~len perms (reply : int reply) =
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+  match space_of ctrl caller with
+  | Error e -> reply_to ctrl reply (Error e)
+  | Ok space ->
+    if off < 0 || len < 0 || off + len > Membuf.size buf then
+      reply_to ctrl reply (Error Error.Bounds)
+    else begin
+      let addr =
+        Objects.add_memory ctrl
+          { m_buf = buf; m_off = off; m_len = len; m_perms = perms;
+            m_owner = caller }
+      in
+      reply_to ctrl reply (insert_cap ctrl space addr ~counts:None)
+    end
+
+let sys_mem_diminish ctrl ~caller cid ~off ~len ~drop (reply : int reply) =
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+  match resolve_cid ctrl caller cid with
+  | Error e -> reply_to ctrl reply (Error e)
+  | Ok entry -> (
+    let res =
+      at_owner ctrl entry.e_addr ~size:Wire.peer_fixed
+        ~local:(fun () -> do_diminish ctrl entry.e_addr ~off ~len ~drop)
+        ~make_msg:(fun rr ->
+          P_diminish { addr = entry.e_addr; off; len; drop; reply = rr })
+    in
+    match res with
+    | Error e -> reply_to ctrl reply (Error e)
+    | Ok child_addr -> (
+      match space_of ctrl caller with
+      | Error e -> reply_to ctrl reply (Error e)
+      | Ok space ->
+        reply_to ctrl reply (insert_cap ctrl space child_addr ~counts:None)))
+
+let sys_mem_copy ctrl ~caller ~src ~dst (reply : unit reply) =
+  let cfg = config ctrl in
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 2) ];
+  match (resolve_cid ctrl caller src, resolve_cid ctrl caller dst) with
+  | Error e, _ | _, Error e -> reply_to ctrl reply (Error e)
+  | Ok src_e, Ok dst_e ->
+    let rr_iv = Sim.Ivar.create () in
+    let rr = { rr_ivar = rr_iv; rr_ctrl = ctrl } in
+    (if cfg.hw_copies then begin
+       (* Third-party RDMA: the caller's controller must be able to resolve
+          both extents. The hw-copies projection (Fig. 5) is measured with
+          objects registered at the caller's controller; remote owners fall
+          back on a peer extent query. *)
+       let resolve addr =
+         if addr.a_ctrl = ctrl.ctrl_id then
+           match Objects.find ctrl addr with
+           | Error e -> Error e
+           | Ok obj -> (
+             match Objects.resolve_payload ctrl obj with
+             | Error e -> Error e
+             | Ok (p, _) -> (
+               match p.o_kind with
+               | O_memory m -> Ok m
+               | O_request _ | O_indirect ->
+                 Error (Error.Bad_argument "not memory")))
+         else
+           match peer_of_addr ctrl addr with
+           | None -> Error Error.Ctrl_unreachable
+           | Some peer -> (
+             match Objects.find peer addr with
+             | Error e -> Error e
+             | Ok obj -> (
+               match Objects.resolve_payload peer obj with
+               | Error e -> Error e
+               | Ok (p, _) -> (
+                 match p.o_kind with
+                 | O_memory m ->
+                   (* extent metadata fetch: one control round trip *)
+                   Net.Fabric.transfer ctrl.fabric ~src:ctrl.cnode
+                     ~dst:peer.cnode ~size:Wire.peer_fixed ();
+                   Net.Fabric.transfer ctrl.fabric ~src:peer.cnode
+                     ~dst:ctrl.cnode ~size:Wire.response ();
+                   Ok m
+                 | O_request _ | O_indirect ->
+                   Error (Error.Bad_argument "not memory"))))
+       in
+       match (resolve src_e.e_addr, resolve dst_e.e_addr) with
+       | Error e, _ | _, Error e -> Sim.Ivar.fill rr_iv (Error e)
+       | Ok sm, Ok dm ->
+         if not sm.m_perms.Perms.read then
+           Sim.Ivar.fill rr_iv (Error Error.Perm_denied)
+         else if not dm.m_perms.Perms.write then
+           Sim.Ivar.fill rr_iv (Error Error.Perm_denied)
+         else if sm.m_len > dm.m_len then Sim.Ivar.fill rr_iv (Error Error.Bounds)
+         else do_copy_hw ctrl ~src_mem:sm ~dst_mem:dm rr
+     end
+     else if src_e.e_addr.a_ctrl = ctrl.ctrl_id then
+       Sim.Engine.spawn (fun () ->
+           do_copy_pull ctrl ~src:src_e.e_addr ~dst:dst_e.e_addr rr)
+     else
+       match peer_of_addr ctrl src_e.e_addr with
+       | None -> Sim.Ivar.fill rr_iv (Error Error.Ctrl_unreachable)
+       | Some peer ->
+         charge ctrl [ (Net.Cost.Serialize, 1) ];
+         send_peer ctrl peer ~size:Wire.peer_fixed
+           (P_copy_pull { src = src_e.e_addr; dst = dst_e.e_addr; reply = rr }));
+    let result = Sim.Ivar.await rr_iv in
+    reply_to ctrl reply result
+
+let sys_req_create ctrl ~caller ~tag ~imms ~caps (reply : int reply) =
+  charge ctrl
+    [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1 + List.length caps) ];
+  match space_of ctrl caller with
+  | Error e -> reply_to ctrl reply (Error e)
+  | Ok space -> (
+    match resolve_cap_args ctrl caller caps with
+    | Error e -> reply_to ctrl reply (Error e)
+    | Ok cap_args ->
+      let addr =
+        Objects.add_request ctrl
+          {
+            r_provider = caller;
+            r_tag = tag;
+            r_imms = imms;
+            r_caps = cap_args;
+            r_parent = None;
+          }
+      in
+      reply_to ctrl reply (insert_cap ctrl space addr ~counts:None))
+
+let sys_req_derive ctrl ~caller ~parent ~imms ~caps (reply : int reply) =
+  charge ctrl
+    [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 2 + List.length caps) ];
+  match (space_of ctrl caller, resolve_cid ctrl caller parent) with
+  | Error e, _ | _, Error e -> reply_to ctrl reply (Error e)
+  | Ok space, Ok parent_entry -> (
+    match resolve_cap_args ctrl caller caps with
+    | Error e -> reply_to ctrl reply (Error e)
+    | Ok cap_args ->
+      let addr =
+        Objects.add_request ctrl
+          {
+            r_provider = caller (* unused on derived requests *);
+            r_tag = "";
+            r_imms = imms;
+            r_caps = cap_args;
+            r_parent = Some parent_entry.e_addr;
+          }
+      in
+      reply_to ctrl reply (insert_cap ctrl space addr ~counts:None))
+
+let sys_req_invoke ctrl ~caller cid (reply : unit reply) =
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+  match resolve_cid ctrl caller cid with
+  | Error e -> reply_to ctrl reply (Error e)
+  | Ok entry ->
+    let rr_iv = Sim.Ivar.create () in
+    let rr = { rr_ivar = rr_iv; rr_ctrl = ctrl } in
+    (if entry.e_addr.a_ctrl = ctrl.ctrl_id then
+       Sim.Engine.spawn (fun () -> do_invoke ctrl entry.e_addr [] [] (Some rr))
+     else
+       match peer_of_addr ctrl entry.e_addr with
+       | None -> Sim.Ivar.fill rr_iv (Error Error.Ctrl_unreachable)
+       | Some peer ->
+         charge ctrl [ (Net.Cost.Serialize, 1) ];
+         send_peer ctrl peer
+           ~size:(Wire.invoke ~imms:[] ~caps:0)
+           (P_invoke
+              { addr = entry.e_addr; suffix_imms = []; suffix_caps = [];
+                reply = Some rr }));
+    let result = Sim.Ivar.await rr_iv in
+    reply_to ctrl reply result
+
+let sys_revtree_create ctrl ~caller cid (reply : int reply) =
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+  match (space_of ctrl caller, resolve_cid ctrl caller cid) with
+  | Error e, _ | _, Error e -> reply_to ctrl reply (Error e)
+  | Ok space, Ok entry -> (
+    let res =
+      at_owner ctrl entry.e_addr ~size:Wire.peer_fixed
+        ~local:(fun () -> do_revtree ctrl entry.e_addr)
+        ~make_msg:(fun rr -> P_revtree { addr = entry.e_addr; reply = rr })
+    in
+    match res with
+    | Error e -> reply_to ctrl reply (Error e)
+    | Ok child_addr ->
+      reply_to ctrl reply (insert_cap ctrl space child_addr ~counts:None))
+
+let sys_revoke ctrl ~caller cid (reply : unit reply) =
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+  match (space_of ctrl caller, resolve_cid ctrl caller cid) with
+  | Error e, _ | _, Error e -> reply_to ctrl reply (Error e)
+  | Ok space, Ok entry ->
+    drop_entry ctrl space cid entry;
+    if entry.e_counts <> None then
+      (* A monitored-delegation capability is a counted reference: revoking
+         it destroys the delegatee's own capability (decrementing the
+         delegator's child counter via [drop_entry]) without invalidating
+         the shared object. This is the behavioral equivalent of the
+         paper's per-delegation revocable marks on the revocation tree —
+         other delegatees of the same object are unaffected. *)
+      reply_to ctrl reply (Ok ())
+    else
+      let res =
+        at_owner ctrl entry.e_addr ~size:Wire.peer_fixed
+          ~local:(fun () -> do_revoke ctrl entry.e_addr)
+          ~make_msg:(fun rr -> P_revoke { addr = entry.e_addr; reply = rr })
+      in
+      reply_to ctrl reply res
+
+let sys_mon_delegate ctrl ~caller cid ~cb (reply : unit reply) =
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+  match resolve_cid ctrl caller cid with
+  | Error e -> reply_to ctrl reply (Error e)
+  | Ok entry ->
+    let register () =
+      match Objects.find ctrl entry.e_addr with
+      | Error e -> Error e
+      | Ok obj ->
+        if obj.o_rev_children <> [] then
+          Error (Error.Bad_argument "monitor_delegate: object has children")
+        else if obj.o_mon_delegator <> None then
+          Error (Error.Bad_argument "monitor_delegate: already monitored")
+        else begin
+          obj.o_mon_delegator <-
+            Some { md_watcher = caller; md_cb = cb; md_outstanding = 0 };
+          Ok ()
+        end
+    in
+    let res =
+      at_owner ctrl entry.e_addr ~size:Wire.peer_fixed ~local:register
+        ~make_msg:(fun rr ->
+          P_mon_delegate { addr = entry.e_addr; watcher = caller; cb; reply = rr })
+    in
+    (match res with Ok () -> entry.e_delegator <- true | Error _ -> ());
+    reply_to ctrl reply res
+
+let sys_mon_receive ctrl ~caller cid ~cb (reply : unit reply) =
+  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+  match resolve_cid ctrl caller cid with
+  | Error e -> reply_to ctrl reply (Error e)
+  | Ok entry ->
+    let register () =
+      match Objects.find ctrl entry.e_addr with
+      | Error e -> Error e
+      | Ok obj ->
+        obj.o_mon_receivers <- (caller, cb) :: obj.o_mon_receivers;
+        Ok ()
+    in
+    let res =
+      at_owner ctrl entry.e_addr ~size:Wire.peer_fixed ~local:register
+        ~make_msg:(fun rr ->
+          P_mon_receive { addr = entry.e_addr; watcher = caller; cb; reply = rr })
+    in
+    reply_to ctrl reply res
+
+let handle_syscall ctrl msg =
+  match msg with
+  | Sys_null reply ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    reply_to ctrl reply (Ok ())
+  | Sys_mem_create { buf; off; len; perms; reply } ->
+    sys_mem_create ctrl ~caller:reply.r_proc buf ~off ~len perms reply
+  | Sys_mem_diminish { cid; off; len; drop; reply } ->
+    sys_mem_diminish ctrl ~caller:reply.r_proc cid ~off ~len ~drop reply
+  | Sys_mem_copy { src; dst; reply } ->
+    sys_mem_copy ctrl ~caller:reply.r_proc ~src ~dst reply
+  | Sys_req_create { tag; imms; caps; reply } ->
+    sys_req_create ctrl ~caller:reply.r_proc ~tag ~imms ~caps reply
+  | Sys_req_derive { parent; imms; caps; reply } ->
+    sys_req_derive ctrl ~caller:reply.r_proc ~parent ~imms ~caps reply
+  | Sys_req_invoke { cid; reply } ->
+    sys_req_invoke ctrl ~caller:reply.r_proc cid reply
+  | Sys_revtree_create { cid; reply } ->
+    sys_revtree_create ctrl ~caller:reply.r_proc cid reply
+  | Sys_revoke { cid; reply } -> sys_revoke ctrl ~caller:reply.r_proc cid reply
+  | Sys_mon_delegate { cid; cb; reply } ->
+    sys_mon_delegate ctrl ~caller:reply.r_proc cid ~cb reply
+  | Sys_mon_receive { cid; cb; reply } ->
+    sys_mon_receive ctrl ~caller:reply.r_proc cid ~cb reply
+  | Sys_credit proc -> (
+    match Hashtbl.find_opt ctrl.windows proc.pid with
+    | Some w -> Sim.Semaphore.release w
+    | None -> ())
+
+(* Reject a syscall at "transport level" when the controller has crashed:
+   the caller's QP times out; no controller software runs. *)
+let reject_syscall msg =
+  let kill : type a. a reply -> unit =
+   fun r -> Sim.Ivar.fill r.r_ivar (Error Error.Ctrl_unreachable)
+  in
+  match msg with
+  | Sys_null r -> kill r
+  | Sys_mem_create { reply; _ } -> kill reply
+  | Sys_mem_diminish { reply; _ } -> kill reply
+  | Sys_mem_copy { reply; _ } -> kill reply
+  | Sys_req_create { reply; _ } -> kill reply
+  | Sys_req_derive { reply; _ } -> kill reply
+  | Sys_req_invoke { reply; _ } -> kill reply
+  | Sys_revtree_create { reply; _ } -> kill reply
+  | Sys_revoke { reply; _ } -> kill reply
+  | Sys_mon_delegate { reply; _ } -> kill reply
+  | Sys_mon_receive { reply; _ } -> kill reply
+  | Sys_credit _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Peer message handlers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let handle_peer ctrl msg =
+  match msg with
+  | P_invoke { addr; suffix_imms; suffix_caps; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Serialize, 1) ];
+    do_invoke ctrl addr suffix_imms suffix_caps reply
+  | P_diminish { addr; off; len; drop; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    rreply_to ctrl reply (do_diminish ctrl addr ~off ~len ~drop)
+  | P_revtree { addr; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    rreply_to ctrl reply (do_revtree ctrl addr)
+  | P_revoke { addr; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    rreply_to ctrl reply (do_revoke ctrl addr)
+  | P_cleanup { addr; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+    cleanup_local ctrl addr;
+    rreply_to ctrl reply (Ok ())
+  | P_increment { addr } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    apply_increment ctrl addr
+  | P_decrement { addr } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    apply_decrement ctrl addr
+  | P_ref_inc { addr; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    (match Hashtbl.find_opt ctrl.objects addr.a_oid with
+    | Some obj when addr.a_epoch = ctrl.epoch ->
+      obj.o_remote_refs <- obj.o_remote_refs + 1
+    | Some _ | None -> ());
+    rreply_to ctrl reply (Ok ())
+  | P_ref_dec { addr } -> (
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    match Hashtbl.find_opt ctrl.objects addr.a_oid with
+    | Some obj when addr.a_epoch = ctrl.epoch ->
+      obj.o_remote_refs <- obj.o_remote_refs - 1;
+      if (not obj.o_valid) && obj.o_remote_refs <= 0 then
+        Objects.remove ctrl addr.a_oid
+    | Some _ | None -> ())
+  | P_mon_delegate { addr; watcher; cb; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+    let res =
+      match Objects.find ctrl addr with
+      | Error e -> Error e
+      | Ok obj ->
+        if obj.o_rev_children <> [] then
+          Error (Error.Bad_argument "monitor_delegate: object has children")
+        else if obj.o_mon_delegator <> None then
+          Error (Error.Bad_argument "monitor_delegate: already monitored")
+        else begin
+          obj.o_mon_delegator <-
+            Some { md_watcher = watcher; md_cb = cb; md_outstanding = 0 };
+          Ok ()
+        end
+    in
+    rreply_to ctrl reply res
+  | P_mon_receive { addr; watcher; cb; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+    let res =
+      match Objects.find ctrl addr with
+      | Error e -> Error e
+      | Ok obj ->
+        obj.o_mon_receivers <- (watcher, cb) :: obj.o_mon_receivers;
+        Ok ()
+    in
+    rreply_to ctrl reply res
+  | P_copy_pull { src; dst; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    do_copy_pull ctrl ~src ~dst reply
+  | P_copy_open { copy_id; dst; total; chunk } -> (
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    let drain_pending deliver =
+      match Hashtbl.find_opt ctrl.copy_pending copy_id with
+      | None -> ()
+      | Some q ->
+        Hashtbl.remove ctrl.copy_pending copy_id;
+        Queue.iter deliver q
+    in
+    match do_copy_open ctrl ~copy_id ~dst ~total with
+    | Ok () -> (
+      match Hashtbl.find_opt ctrl.copy_sessions copy_id with
+      | Some chan ->
+        Sim.Channel.send chan chunk;
+        drain_pending (Sim.Channel.send chan)
+      | None -> ())
+    | Error e ->
+      let reject (ck : copy_chunk) =
+        match ck.ck_last with
+        | Some rr ->
+          Hashtbl.remove ctrl.copy_failures copy_id;
+          rreply_to ctrl rr (Error e)
+        | None -> ()
+      in
+      reject chunk;
+      drain_pending reject)
+  | P_copy_chunk { copy_id; chunk } -> (
+    match Hashtbl.find_opt ctrl.copy_sessions copy_id with
+    | Some chan -> Sim.Channel.send chan chunk
+    | None -> (
+      match Hashtbl.find_opt ctrl.copy_failures copy_id with
+      | Some e -> (
+        (* session rejected at open time: the final chunk carries the
+           error back *)
+        match chunk.ck_last with
+        | Some rr ->
+          Hashtbl.remove ctrl.copy_failures copy_id;
+          rreply_to ctrl rr (Error e)
+        | None -> ())
+      | None ->
+        (* the open is still being processed (handlers run concurrently):
+           park the chunk until the session resolves *)
+        let q =
+          match Hashtbl.find_opt ctrl.copy_pending copy_id with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.replace ctrl.copy_pending copy_id q;
+            q
+        in
+        Queue.add chunk q))
+
+let reject_peer msg =
+  let kill : type a. a rreply -> unit =
+   fun rr -> Sim.Ivar.fill rr.rr_ivar (Error Error.Ctrl_unreachable)
+  in
+  match msg with
+  | P_invoke { reply = Some rr; _ } -> kill rr
+  | P_invoke { reply = None; _ } -> ()
+  | P_diminish { reply; _ } -> kill reply
+  | P_revtree { reply; _ } -> kill reply
+  | P_revoke { reply; _ } -> kill reply
+  | P_cleanup { reply; _ } ->
+    (* a dead controller holds no capabilities: cleanup trivially done *)
+    Sim.Ivar.fill reply.rr_ivar (Ok ())
+  | P_increment _ | P_decrement _ | P_ref_dec _ -> ()
+  | P_ref_inc { reply; _ } -> kill reply
+  | P_mon_delegate { reply; _ } -> kill reply
+  | P_mon_receive { reply; _ } -> kill reply
+  | P_copy_pull { reply; _ } -> kill reply
+  | P_copy_open { chunk; _ } | P_copy_chunk { chunk; _ } -> (
+    match chunk.ck_last with
+    | Some rr -> kill rr
+    | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create fabric ~node =
+  incr next_ctrl_id;
+  let id = !next_ctrl_id in
+  {
+    ctrl_id = id;
+    cnode = node;
+    epoch = 0;
+    cpu = Sim.Resource.create ~servers:2 ();
+    sys_ep = Net.Endpoint.create ~node (Printf.sprintf "ctrl%d.sys" id);
+    peer_ep = Net.Endpoint.create ~node (Printf.sprintf "ctrl%d.peer" id);
+    objects = Hashtbl.create 64;
+    next_oid = 1;
+    capspaces = Hashtbl.create 8;
+    procs = Hashtbl.create 8;
+    peers = [];
+    fabric;
+    running = true;
+    windows = Hashtbl.create 8;
+    copy_sessions = Hashtbl.create 8;
+    copy_failures = Hashtbl.create 8;
+    copy_pending = Hashtbl.create 8;
+  }
+
+let connect ctrls =
+  List.iter
+    (fun c ->
+      c.peers <- List.filter (fun o -> o.ctrl_id <> c.ctrl_id) ctrls)
+    ctrls
+
+let start ctrl =
+  Sim.Engine.spawn ~name:"ctrl.sys" (fun () ->
+      let rec loop () =
+        let msg = Net.Endpoint.recv ctrl.sys_ep in
+        if ctrl.running then Sim.Engine.spawn (fun () -> handle_syscall ctrl msg)
+        else reject_syscall msg;
+        loop ()
+      in
+      loop ());
+  Sim.Engine.spawn ~name:"ctrl.peer" (fun () ->
+      let rec loop () =
+        let msg = Net.Endpoint.recv ctrl.peer_ep in
+        if ctrl.running then Sim.Engine.spawn (fun () -> handle_peer ctrl msg)
+        else reject_peer msg;
+        loop ()
+      in
+      loop ())
+
+let attach ctrl proc =
+  (match proc.pctrl with
+  | Some _ -> invalid_arg "Controller.attach: process already attached"
+  | None -> ());
+  proc.pctrl <- Some ctrl;
+  Hashtbl.replace ctrl.procs proc.pid proc;
+  Hashtbl.replace ctrl.capspaces proc.pid
+    { cs_proc = proc; cs_next = 1; cs_caps = Hashtbl.create 16 };
+  Hashtbl.replace ctrl.windows proc.pid
+    (Sim.Semaphore.create (config ctrl).congestion_window)
+
+let grant ctrl proc addr =
+  match space_of ctrl proc with
+  | Error _ -> invalid_arg "Controller.grant: process not attached"
+  | Ok space -> (
+    match insert_cap ctrl space addr ~counts:None with
+    | Ok cid -> cid
+    | Error e ->
+      invalid_arg ("Controller.grant: " ^ Error.to_string e))
+
+let addr_of_cid ctrl proc cid =
+  match resolve_cid ctrl proc cid with
+  | Ok entry -> Some entry.e_addr
+  | Error _ -> None
+
+let fail_process ctrl proc =
+  proc.alive <- false;
+  (* decrement monitored-delegation counters for every capability the dead
+     process held *)
+  (match Hashtbl.find_opt ctrl.capspaces proc.pid with
+  | Some space ->
+    let entries = Hashtbl.fold (fun cid e acc -> (cid, e) :: acc) space.cs_caps [] in
+    List.iter (fun (cid, e) -> drop_entry ctrl space cid e) entries
+  | None -> ());
+  Hashtbl.remove ctrl.capspaces proc.pid;
+  Hashtbl.remove ctrl.windows proc.pid;
+  Hashtbl.remove ctrl.procs proc.pid;
+  (* invalidate every object the process owns (its Memory registrations and
+     the Requests it provides) — failure translates into revocation *)
+  let owned =
+    Hashtbl.fold
+      (fun _ obj acc ->
+        if not obj.o_valid then acc
+        else
+          match obj.o_kind with
+          | O_memory m when m.m_owner == proc -> obj :: acc
+          | O_request r when r.r_provider == proc && r.r_parent = None ->
+            obj :: acc
+          | O_memory _ | O_request _ | O_indirect -> acc)
+      ctrl.objects []
+  in
+  List.iter
+    (fun obj -> if obj.o_valid then invalidate_at_owner ctrl obj)
+    owned
+
+let fail ctrl =
+  ctrl.running <- false;
+  Hashtbl.iter (fun _ p -> p.alive <- false) ctrl.procs
+
+let restart ctrl =
+  ctrl.epoch <- ctrl.epoch + 1;
+  Hashtbl.reset ctrl.objects;
+  Hashtbl.reset ctrl.capspaces;
+  Hashtbl.reset ctrl.procs;
+  Hashtbl.reset ctrl.windows;
+  Hashtbl.reset ctrl.copy_sessions;
+  Hashtbl.reset ctrl.copy_failures;
+  Hashtbl.reset ctrl.copy_pending;
+  ctrl.next_oid <- 1;
+  ctrl.running <- true
+
+let live_objects ctrl = Objects.live_count ctrl
+let tombstones ctrl = Objects.tombstone_count ctrl
+let is_running ctrl = ctrl.running
+
+type memory_report = {
+  mr_proc_buffers : int;
+  mr_peer_buffers : int;
+  mr_capspace : int;
+  mr_objects : int;
+  mr_total : int;
+}
+
+(* §4's cost model: 64 MiB of RoCE buffers per managed Process, 64 MiB per
+   peer Controller, per-entry capability-space cost, 24 B per
+   revocation-tree object. *)
+let roce_buffer_bytes = 64 * 1024 * 1024
+let cap_entry_bytes = 48
+let object_bytes = 24
+
+let memory_report ctrl =
+  let procs = Hashtbl.length ctrl.procs in
+  let peers = List.length ctrl.peers in
+  let entries =
+    Hashtbl.fold (fun _ s n -> n + Hashtbl.length s.cs_caps) ctrl.capspaces 0
+  in
+  let objects = Hashtbl.length ctrl.objects in
+  let mr_proc_buffers = procs * roce_buffer_bytes in
+  let mr_peer_buffers = peers * roce_buffer_bytes in
+  let mr_capspace = entries * cap_entry_bytes in
+  let mr_objects = objects * object_bytes in
+  {
+    mr_proc_buffers;
+    mr_peer_buffers;
+    mr_capspace;
+    mr_objects;
+    mr_total = mr_proc_buffers + mr_peer_buffers + mr_capspace + mr_objects;
+  }
+
+let pp_memory_report fmt r =
+  let mib b = float_of_int b /. 1024. /. 1024. in
+  Format.fprintf fmt
+    "@[<v>process buffers: %.0f MiB@,peer buffers: %.0f MiB@,\
+     capability space: %d B@,object table: %d B@,total: %.1f MiB@]"
+    (mib r.mr_proc_buffers) (mib r.mr_peer_buffers) r.mr_capspace r.mr_objects
+    (mib r.mr_total)
+
+let enqueue_syscall ctrl msg ~size ~src =
+  Net.Endpoint.post ctrl.fabric ~src ctrl.sys_ep ~size msg

@@ -1,0 +1,94 @@
+(** The trusted FractOS Controller.
+
+    Controllers implement every trusted mechanism of FractOS (§3): the
+    syscall protocol with their attached Processes, the object table and
+    capability spaces, delegation during Request invocation, the
+    decentralized invocation chain (derived Requests forward toward the
+    root provider, accumulating refinement arguments), owner-centric
+    revocation with immediate invalidation plus an asynchronous cleanup
+    broadcast, the bounce-buffer [memory_copy] engine with double
+    buffering (or third-party RDMA when the fabric supports it), capability
+    monitors, congestion control, and failure translation.
+
+    A Controller runs as two service fibers (one per queue: Process
+    syscalls and peer messages), modeling the prototype's two polling
+    cores; all software costs are charged to a 2-server CPU
+    {!Fractos_sim.Resource.t} scaled by the node kind it runs on (host CPU
+    vs SmartNIC — see {!Fractos_net.Cost}). *)
+
+open State
+
+type t = ctrl
+
+val create : Net.Fabric.t -> node:Net.Node.t -> t
+(** A new Controller on [node]. Call {!start} to begin serving, and
+    {!connect} once all Controllers of the deployment exist. *)
+
+val connect : t list -> unit
+(** Make every Controller in the list a peer of every other (used for the
+    revocation cleanup broadcast and address routing). Idempotent. *)
+
+val start : t -> unit
+(** Spawn the service loops. Must run inside {!Fractos_sim.Engine.run}. *)
+
+val attach : t -> proc -> unit
+(** Register a Process with this Controller: creates its capability space
+    and congestion window, and connects its queues. A Process attaches to
+    exactly one Controller. *)
+
+val grant : t -> proc -> addr -> int
+(** Trusted bootstrap: insert a capability to [addr] directly into the
+    Process's space, returning the new cid. Models the operator's
+    pre-deployed resource-management service handing out initial
+    capabilities; zero simulated cost. *)
+
+val addr_of_cid : t -> proc -> int -> addr option
+(** Debug/testbed introspection: resolve a Process's cid. *)
+
+(** {1 Failure injection (§3.6 failure-translation model)} *)
+
+val fail_process : t -> proc -> unit
+(** The Controller observed the Process's channel sever: marks it dead,
+    invalidates every object it owns (Memory it registered, Requests it
+    provides) with the usual monitor callbacks and cleanup broadcast, drops
+    its capability space (decrementing monitored-delegation counters), and
+    frees its congestion window. *)
+
+val fail : t -> unit
+(** Crash the Controller: it stops serving (in-flight and future messages
+    are answered with [Ctrl_unreachable] at transport level, modeling QP
+    timeouts) and all its Processes are considered failed. Objects it owned
+    become unreachable — implicit revocation. *)
+
+val restart : t -> unit
+(** Reboot a failed Controller with a bumped epoch: old capabilities to its
+    objects are now detected as [Stale] on use (eager Lamport-stamp check),
+    and it can serve freshly attached Processes again. *)
+
+(** {1 Diagnostics} *)
+
+val live_objects : t -> int
+val tombstones : t -> int
+val is_running : t -> bool
+
+type memory_report = {
+  mr_proc_buffers : int;
+      (** RoCE receive buffers per managed Process (64 MiB each, §4). *)
+  mr_peer_buffers : int;  (** Buffers per connected peer Controller. *)
+  mr_capspace : int;  (** Capability-space entries. *)
+  mr_objects : int;  (** Object table incl. revocation-tree nodes (24 B). *)
+  mr_total : int;
+}
+
+val memory_report : t -> memory_report
+(** The Controller's memory footprint under the paper's §4 cost model —
+    what a SmartNIC deployment (16 GiB of card memory) must budget for. *)
+
+val pp_memory_report : Format.formatter -> memory_report -> unit
+
+(**/**)
+
+(** Internal entry points shared with {!Api} — not for application use. *)
+
+val config : t -> Net.Config.t
+val enqueue_syscall : t -> syscall -> size:int -> src:Net.Node.t -> unit

@@ -1,0 +1,30 @@
+type t =
+  | Invalid_cap
+  | Revoked
+  | Stale
+  | Perm_denied
+  | Bounds
+  | Bad_argument of string
+  | Provider_dead
+  | Ctrl_unreachable
+  | Quota_exceeded
+  | Timeout
+
+let to_string = function
+  | Invalid_cap -> "invalid capability"
+  | Revoked -> "revoked"
+  | Stale -> "stale capability (controller rebooted)"
+  | Perm_denied -> "permission denied"
+  | Bounds -> "out of bounds"
+  | Bad_argument s -> "bad argument: " ^ s
+  | Provider_dead -> "provider process dead"
+  | Ctrl_unreachable -> "controller unreachable"
+  | Quota_exceeded -> "capability-space quota exceeded"
+  | Timeout -> "deadline expired"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b
+
+exception Fractos of t
+
+let ok_exn = function Ok v -> v | Error e -> raise (Fractos e)

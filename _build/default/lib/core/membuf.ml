@@ -1,0 +1,21 @@
+type t = { id : int; node : Fractos_net.Node.t; data : Bytes.t }
+
+let next_id = ref 0
+
+let create ~node size =
+  if size < 0 then invalid_arg "Membuf.create: negative size";
+  incr next_id;
+  { id = !next_id; node; data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+let write t ~off b = Bytes.blit b 0 t.data off (Bytes.length b)
+let read t ~off ~len = Bytes.sub t.data off len
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  Bytes.blit src.data src_off dst.data dst_off len
+
+let fill t c = Bytes.fill t.data 0 (Bytes.length t.data) c
+
+let pp fmt t =
+  Format.fprintf fmt "membuf#%d(%dB@%s)" t.id (Bytes.length t.data)
+    t.node.Fractos_net.Node.name

@@ -1,0 +1,96 @@
+open State
+
+let fresh_oid ctrl =
+  let oid = ctrl.next_oid in
+  ctrl.next_oid <- oid + 1;
+  oid
+
+let add ctrl kind ~rev_parent =
+  let oid = fresh_oid ctrl in
+  let obj =
+    {
+      o_id = oid;
+      o_valid = true;
+      o_kind = kind;
+      o_rev_parent = rev_parent;
+      o_rev_children = [];
+      o_mon_delegator = None;
+      o_mon_receivers = [];
+      o_remote_refs = 0;
+    }
+  in
+  Hashtbl.replace ctrl.objects oid obj;
+  { a_ctrl = ctrl.ctrl_id; a_epoch = ctrl.epoch; a_oid = oid }
+
+let link_child' ~parent ~child =
+  parent.o_rev_children <- child.o_id :: parent.o_rev_children
+
+let add_memory ctrl ?parent mem =
+  match parent with
+  | None -> add ctrl (O_memory mem) ~rev_parent:None
+  | Some p ->
+    let addr = add ctrl (O_memory mem) ~rev_parent:(Some p.o_id) in
+    let child = Hashtbl.find ctrl.objects addr.a_oid in
+    link_child' ~parent:p ~child;
+    addr
+
+let add_request ctrl req = add ctrl (O_request req) ~rev_parent:None
+
+let link_child = link_child'
+
+let add_indirect ctrl ~parent =
+  let addr = add ctrl O_indirect ~rev_parent:(Some parent.o_id) in
+  let child = Hashtbl.find ctrl.objects addr.a_oid in
+  link_child ~parent ~child;
+  addr
+
+let find ctrl addr =
+  if not ctrl.running then Error Error.Ctrl_unreachable
+  else if addr.a_ctrl <> ctrl.ctrl_id then
+    Error (Error.Bad_argument "address not owned by this controller")
+  else if addr.a_epoch <> ctrl.epoch then Error Error.Stale
+  else
+    match Hashtbl.find_opt ctrl.objects addr.a_oid with
+    | None -> Error Error.Revoked (* cleaned-up tombstone *)
+    | Some obj -> if obj.o_valid then Ok obj else Error Error.Revoked
+
+let resolve_payload ctrl obj =
+  let rec walk obj hops =
+    if not obj.o_valid then Error Error.Revoked
+    else
+      match obj.o_kind with
+      | O_memory _ | O_request _ -> Ok (obj, hops)
+      | O_indirect -> (
+        match obj.o_rev_parent with
+        | None -> Error (Error.Bad_argument "dangling indirection object")
+        | Some poid -> (
+          match Hashtbl.find_opt ctrl.objects poid with
+          | None -> Error Error.Revoked
+          | Some parent -> walk parent (hops + 1)))
+  in
+  walk obj 0
+
+let invalidate ctrl obj =
+  let acc = ref [] in
+  let rec go obj =
+    if obj.o_valid then begin
+      obj.o_valid <- false;
+      acc := obj :: !acc;
+      List.iter
+        (fun oid ->
+          match Hashtbl.find_opt ctrl.objects oid with
+          | Some child -> go child
+          | None -> ())
+        obj.o_rev_children
+    end
+  in
+  go obj;
+  List.rev !acc
+
+let remove ctrl oid = Hashtbl.remove ctrl.objects oid
+
+let live_count ctrl =
+  Hashtbl.fold (fun _ o n -> if o.o_valid then n + 1 else n) ctrl.objects 0
+
+let tombstone_count ctrl =
+  Hashtbl.fold (fun _ o n -> if o.o_valid then n else n + 1) ctrl.objects 0

@@ -1,0 +1,14 @@
+type t = { read : bool; write : bool }
+
+let rw = { read = true; write = true }
+let ro = { read = true; write = false }
+let wo = { read = false; write = true }
+let none = { read = false; write = false }
+let subset a b = ((not a.read) || b.read) && ((not a.write) || b.write)
+let inter a b = { read = a.read && b.read; write = a.write && b.write }
+let drop p ~drop = { read = p.read && not drop.read; write = p.write && not drop.write }
+
+let to_string p =
+  (if p.read then "r" else "-") ^ if p.write then "w" else "-"
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,22 @@
+(** Memory-object access permissions.
+
+    Permissions only ever shrink: {!inter} and {!drop} are used by
+    [memory_diminish] to derive views with equal-or-lesser rights, matching
+    the paper's monotonic-derivation rule. *)
+
+type t = { read : bool; write : bool }
+
+val rw : t
+val ro : t
+val wo : t
+val none : t
+
+val subset : t -> t -> bool
+(** [subset a b] is true when [a] grants no right that [b] does not. *)
+
+val inter : t -> t -> t
+val drop : t -> drop:t -> t
+(** [drop p ~drop:d] removes the rights in [d] from [p]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

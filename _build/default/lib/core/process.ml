@@ -1,0 +1,26 @@
+open State
+
+type t = proc
+
+let next_pid = ref 0
+
+let create ~node name =
+  incr next_pid;
+  {
+    pid = !next_pid;
+    pname = name;
+    pnode = node;
+    pctrl = None;
+    inbox = Sim.Channel.create ();
+    monitor_box = Sim.Channel.create ();
+    alive = true;
+  }
+
+let alloc t size = Membuf.create ~node:t.pnode size
+let is_alive t = t.alive
+let name t = t.pname
+let node t = t.pnode
+let controller t = t.pctrl
+
+let pp fmt t =
+  Format.fprintf fmt "%s(pid%d@%s)" t.pname t.pid t.pnode.Net.Node.name

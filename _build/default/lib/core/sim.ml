@@ -1,0 +1,2 @@
+(* Local alias: [Sim.Engine], [Sim.Time], ... *)
+include Fractos_sim

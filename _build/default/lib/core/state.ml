@@ -1,0 +1,224 @@
+(* Shared mutable state of the FractOS runtime.
+
+   This module only declares the mutually recursive records tying together
+   Processes, Controllers, capability spaces and objects, plus the message
+   types of the Process<->Controller syscall protocol and the
+   Controller<->Controller peer protocol. All behaviour lives in
+   [Objects] (object table and revocation trees), [Controller] (the trusted
+   kernel runtime) and [Api] (the untrusted libfractos veneer).
+
+   Trust boundary note: records here are shared OCaml values for simulation
+   convenience, but the code discipline enforces the paper's architecture —
+   Processes only touch their own fields and communicate with Controllers
+   exclusively through fabric messages ([syscall] values in, replies and
+   [delivery]/[monitor_event] values out), so every trust-boundary crossing
+   is priced and counted by the fabric. *)
+
+(* Global address of a FractOS object: owning controller, its reboot epoch
+   at capability-creation time (Lamport-style staleness stamp, §3.6), and
+   the object id in that controller's table. *)
+type addr = { a_ctrl : int; a_epoch : int; a_oid : int }
+
+type proc = {
+  pid : int;
+  pname : string;
+  pnode : Net.Node.t;
+  mutable pctrl : ctrl option; (* set by Controller.attach *)
+  inbox : delivery Sim.Channel.t; (* request_receive queue *)
+  monitor_box : monitor_event Sim.Channel.t;
+  mutable alive : bool;
+}
+
+and ctrl = {
+  ctrl_id : int;
+  cnode : Net.Node.t;
+  mutable epoch : int; (* reboot counter *)
+  cpu : Sim.Resource.t; (* controller cores (2, per the paper) *)
+  sys_ep : syscall Net.Endpoint.t;
+  peer_ep : peer_msg Net.Endpoint.t;
+  objects : (int, obj) Hashtbl.t;
+  mutable next_oid : int;
+  capspaces : (int, capspace) Hashtbl.t; (* pid -> space *)
+  procs : (int, proc) Hashtbl.t; (* managed processes *)
+  mutable peers : ctrl list; (* every other controller *)
+  fabric : Net.Fabric.t;
+  mutable running : bool;
+  windows : (int, Sim.Semaphore.t) Hashtbl.t; (* per-proc delivery window *)
+  copy_sessions : (int, copy_chunk Sim.Channel.t) Hashtbl.t;
+  copy_failures : (int, Error.t) Hashtbl.t;
+      (* sessions rejected at open; the error is replied on the last chunk *)
+  copy_pending : (int, copy_chunk Queue.t) Hashtbl.t;
+      (* chunks that overtook their session's open (handlers run
+         concurrently; delivery order alone does not serialize them) *)
+}
+
+and capspace = {
+  cs_proc : proc;
+  mutable cs_next : int;
+  cs_caps : (int, entry) Hashtbl.t; (* cid -> entry *)
+}
+
+(* One capability: an index in a Process's space resolving to an object
+   address. [e_delegator] is set by monitor_delegate on the owner's own
+   capability; [e_counts] marks a delegatee capability that must decrement
+   the delegator's child counter when it disappears. *)
+and entry = {
+  e_addr : addr;
+  mutable e_delegator : bool;
+  e_counts : addr option;
+}
+
+and obj = {
+  o_id : int;
+  mutable o_valid : bool;
+  o_kind : okind;
+  o_rev_parent : int option; (* same-controller revocation-tree parent *)
+  mutable o_rev_children : int list;
+  mutable o_mon_delegator : mon_del option;
+  mutable o_mon_receivers : (proc * int) list; (* watcher, callback id *)
+  mutable o_remote_refs : int;
+      (* remote capability count, maintained only under the
+         track_delegations ablation (the design the paper rejects) *)
+}
+
+and okind =
+  | O_memory of mem
+  | O_request of req
+  | O_indirect (* revocation-tree indirection node (caretaker pattern) *)
+
+and mem = {
+  m_buf : Membuf.t;
+  m_off : int;
+  m_len : int;
+  m_perms : Perms.t;
+  m_owner : proc;
+}
+
+and req = {
+  r_provider : proc; (* meaningful at the root of a derivation chain *)
+  r_tag : string; (* RPC selector, set by the root's creator *)
+  r_imms : Args.imm list;
+  r_caps : (addr * bool) list; (* capability args; bool = monitored *)
+  r_parent : addr option; (* derivation source, possibly remote *)
+}
+
+and mon_del = { md_watcher : proc; md_cb : int; mutable md_outstanding : int }
+
+(* What request_receive returns to a provider Process. *)
+and delivery = {
+  d_tag : string;
+  d_imms : Args.imm list;
+  d_caps : int list; (* cids freshly delegated into the receiver's space *)
+}
+
+and monitor_event =
+  | Delegate_cb of int (* all delegated children gone (callback id) *)
+  | Receive_cb of int (* watched capability revoked (callback id) *)
+
+(* Reply paths. Fabric messages carry the ivar to fill; the fill happens in
+   the delivery callback so timing and accounting are exact. *)
+and 'a reply = { r_ivar : ('a, Error.t) result Sim.Ivar.t; r_proc : proc }
+and 'a rreply = { rr_ivar : ('a, Error.t) result Sim.Ivar.t; rr_ctrl : ctrl }
+
+(* Process -> Controller syscalls (Table 1 of the paper, plus null for
+   benchmarking, credit returns for congestion control, and the monitor
+   calls of §3.6). *)
+and syscall =
+  | Sys_null of unit reply
+  | Sys_mem_create of {
+      buf : Membuf.t;
+      off : int;
+      len : int;
+      perms : Perms.t;
+      reply : int reply;
+    }
+  | Sys_mem_diminish of {
+      cid : int;
+      off : int;
+      len : int;
+      drop : Perms.t;
+      reply : int reply;
+    }
+  | Sys_mem_copy of { src : int; dst : int; reply : unit reply }
+  | Sys_req_create of {
+      tag : string;
+      imms : Args.imm list;
+      caps : int list;
+      reply : int reply;
+    }
+  | Sys_req_derive of {
+      parent : int;
+      imms : Args.imm list;
+      caps : int list;
+      reply : int reply;
+    }
+  | Sys_req_invoke of { cid : int; reply : unit reply }
+  | Sys_revtree_create of { cid : int; reply : int reply }
+  | Sys_revoke of { cid : int; reply : unit reply }
+  | Sys_mon_delegate of { cid : int; cb : int; reply : unit reply }
+  | Sys_mon_receive of { cid : int; cb : int; reply : unit reply }
+  | Sys_credit of proc
+
+(* Controller <-> Controller peer protocol. *)
+and peer_msg =
+  | P_invoke of {
+      addr : addr;
+      suffix_imms : Args.imm list;
+      suffix_caps : (addr * bool) list;
+      reply : unit rreply option;
+          (* The posting acknowledgment: present only until the first
+             owner has validated the invocation; forwarded hops carry
+             [None] (the chain is then on its own — exceptions are the
+             application's continuation Requests' business, §3.4). *)
+    }
+  | P_diminish of {
+      addr : addr;
+      off : int;
+      len : int;
+      drop : Perms.t;
+      reply : addr rreply;
+    }
+  | P_revtree of { addr : addr; reply : addr rreply }
+  | P_revoke of { addr : addr; reply : unit rreply }
+  | P_cleanup of { addr : addr; reply : unit rreply }
+  | P_increment of { addr : addr }
+  | P_decrement of { addr : addr }
+  | P_ref_inc of { addr : addr; reply : unit rreply }
+      (* track_delegations ablation: the tracking protocol is reliable, so
+         the increment is acknowledged — on the delegation critical path *)
+  | P_ref_dec of { addr : addr }
+  | P_mon_delegate of {
+      addr : addr;
+      watcher : proc;
+      cb : int;
+      reply : unit rreply;
+    }
+  | P_mon_receive of {
+      addr : addr;
+      watcher : proc;
+      cb : int;
+      reply : unit rreply;
+    }
+  | P_copy_pull of { src : addr; dst : addr; reply : unit rreply }
+  | P_copy_open of {
+      copy_id : int;
+      dst : addr;
+      total : int;
+      chunk : copy_chunk;
+    }
+      (* Optimistic session open: the first data chunk carries the session
+         parameters, saving the begin/ack round trip; validation failures
+         surface on the final chunk's reply. *)
+  | P_copy_chunk of { copy_id : int; chunk : copy_chunk }
+
+and copy_chunk = {
+  ck_off : int;
+  ck_data : bytes;
+  ck_last : unit rreply option; (* final chunk carries the caller's ack *)
+}
+
+let addr_equal a b =
+  a.a_ctrl = b.a_ctrl && a.a_epoch = b.a_epoch && a.a_oid = b.a_oid
+
+let pp_addr fmt a =
+  Format.fprintf fmt "obj(c%d.e%d.%d)" a.a_ctrl a.a_epoch a.a_oid

@@ -1,0 +1,1 @@
+lib/device/gpu.ml: Fractos_core Fractos_net Fractos_sim Hashtbl Printf

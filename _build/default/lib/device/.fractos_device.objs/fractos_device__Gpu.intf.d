@@ -1,0 +1,1 @@
+lib/device/gpu.mli: Fractos_core Fractos_net Fractos_sim

@@ -1,0 +1,1 @@
+lib/device/nvme.ml: Bytes Fractos_net Fractos_sim Hashtbl

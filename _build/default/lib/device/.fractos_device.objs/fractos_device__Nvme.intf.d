@@ -1,0 +1,1 @@
+lib/device/nvme.mli: Fractos_net Fractos_sim

@@ -1,0 +1,65 @@
+module Sim = Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+
+type kernel = {
+  k_name : string;
+  k_cost : items:int -> Sim.Time.t;
+  k_run : bufs:Core.Membuf.t list -> imms:int list -> unit;
+}
+
+type t = {
+  gnode : Net.Node.t;
+  config : Net.Config.t;
+  engine : Sim.Resource.t;
+  mutable mem_free : int;
+  allocations : (int, int) Hashtbl.t; (* membuf id -> size *)
+  kernels : (string, kernel) Hashtbl.t;
+}
+
+let create ~node ~config ~mem_bytes =
+  {
+    gnode = node;
+    config;
+    engine = Sim.Resource.create ();
+    mem_free = mem_bytes;
+    allocations = Hashtbl.create 16;
+    kernels = Hashtbl.create 8;
+  }
+
+let node t = t.gnode
+
+let alloc t size =
+  Sim.Engine.sleep t.config.Net.Config.gpu_alloc;
+  if size > t.mem_free then Error "GPU out of memory"
+  else begin
+    t.mem_free <- t.mem_free - size;
+    let buf = Core.Membuf.create ~node:t.gnode size in
+    Hashtbl.replace t.allocations buf.Core.Membuf.id size;
+    Ok buf
+  end
+
+let free t buf =
+  Sim.Engine.sleep t.config.Net.Config.gpu_alloc;
+  match Hashtbl.find_opt t.allocations buf.Core.Membuf.id with
+  | Some size ->
+    Hashtbl.remove t.allocations buf.Core.Membuf.id;
+    t.mem_free <- t.mem_free + size
+  | None -> ()
+
+let mem_free_bytes t = t.mem_free
+
+let load_kernel t kernel =
+  Sim.Engine.sleep t.config.Net.Config.gpu_alloc;
+  Hashtbl.replace t.kernels kernel.k_name kernel
+
+let launch t ~name ~items ~bufs ~imms =
+  match Hashtbl.find_opt t.kernels name with
+  | None -> Error (Printf.sprintf "unknown kernel %S" name)
+  | Some k ->
+    let duration = t.config.Net.Config.gpu_launch + k.k_cost ~items in
+    Sim.Resource.use t.engine ~duration;
+    k.k_run ~bufs ~imms;
+    Ok ()
+
+let utilization_busy t = Sim.Resource.busy_time t.engine

@@ -1,0 +1,66 @@
+(** Umbrella entry point: [open Fractos] brings the whole system under one
+    namespace. The sub-libraries remain independently usable; this module
+    just curates the surface a downstream user starts from.
+
+    {2 Layers}
+
+    - {!Sim}: the deterministic discrete-event engine (fibers, ivars,
+      channels, resources, PRNG).
+    - {!Net}: the data-center fabric (nodes, latency/bandwidth model,
+      traffic stats, tracing, calibration {!Net.Config}).
+    - {!Device}: GPU and NVMe models.
+    - The core OS ({!Controller}, {!Process}, {!Api}, {!Perms},
+      {!Membuf}, {!Args}, {!Error}): capabilities, Memory/Request
+      objects, decentralized invocation, revocation, monitors.
+    - Services ({!Svc}, {!Gpu_adaptor}, {!Blockdev}, {!Fs}, {!Kvstore},
+      {!Registry}, {!Resman}, {!Flow}, {!Faceverify}, {!Inference}).
+    - {!Baselines}: rCUDA / NVMe-oF / NFS / pipeline comparison stacks.
+    - {!Workloads} and {!Testbed}: data generators and cluster builders.
+
+    {2 Thirty-second tour}
+
+    {[
+      open Fractos
+
+      let () =
+        Testbed.run (fun tb ->
+            let node = Testbed.add_host tb "host" in
+            let ctrl = Testbed.add_ctrl tb ~on:node in
+            let p = Testbed.add_proc tb ~on:node ~ctrl "p" in
+            let buf = Process.alloc p 64 in
+            let _cap = Error.ok_exn (Api.memory_create p buf Perms.rw) in
+            ())
+    ]} *)
+
+module Sim = Fractos_sim
+module Net = Fractos_net
+module Device = Fractos_device
+module Workloads = Fractos_workloads
+module Baselines = Fractos_baselines
+
+(* Core *)
+module Error = Fractos_core.Error
+module Perms = Fractos_core.Perms
+module Membuf = Fractos_core.Membuf
+module Args = Fractos_core.Args
+module State = Fractos_core.State
+module Controller = Fractos_core.Controller
+module Process = Fractos_core.Process
+module Api = Fractos_core.Api
+
+(* Services *)
+module Svc = Fractos_services.Svc
+module Flow = Fractos_services.Flow
+module Gpu_adaptor = Fractos_services.Gpu_adaptor
+module Blockdev = Fractos_services.Blockdev
+module Fs = Fractos_services.Fs
+module Kvstore = Fractos_services.Kvstore
+module Registry = Fractos_services.Registry
+module Resman = Fractos_services.Resman
+module Replica = Fractos_services.Replica
+module Faceverify = Fractos_services.Faceverify
+module Inference = Fractos_services.Inference
+
+(* Operator tooling *)
+module Testbed = Fractos_testbed.Testbed
+module Cluster = Fractos_testbed.Cluster

@@ -1,0 +1,1 @@
+lib/net/config.ml: Sim

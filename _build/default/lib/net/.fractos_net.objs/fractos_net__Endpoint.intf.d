@@ -1,0 +1,1 @@
+lib/net/endpoint.mli: Fabric Node Sim Stats

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Config Format List Node Sim Stats Trace

@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Config Format Node Sim Stats Trace

@@ -1,0 +1,1 @@
+lib/net/stats.ml: Array Format Hashtbl List Node

@@ -1,0 +1,86 @@
+type t = {
+  loopback_oneway : Sim.Time.t;
+  wire_oneway : Sim.Time.t;
+  pcie_extra : Sim.Time.t;
+  net_bandwidth_bps : int;
+  pcie_bandwidth_bps : int;
+  header_bytes : int;
+  c_msg : Sim.Time.t;
+  c_lookup : Sim.Time.t;
+  c_serialize : Sim.Time.t;
+  c_cap_transfer : Sim.Time.t;
+  c_revoke : Sim.Time.t;
+  snic_m_msg : float;
+  snic_m_lookup : float;
+  snic_m_serialize : float;
+  snic_m_cap : float;
+  wimpy_factor : float;
+  bounce_chunk : int;
+  copy_setup : Sim.Time.t;
+  memcpy_bw_bps : int;
+  hw_copies : bool;
+  double_buffering : bool;
+  nvme_read_latency : Sim.Time.t;
+  nvme_write_latency : Sim.Time.t;
+  nvme_bandwidth_bps : int;
+  nvme_queue_depth : int;
+  gpu_launch : Sim.Time.t;
+  gpu_per_image : Sim.Time.t;
+  gpu_alloc : Sim.Time.t;
+  gpu_dma_bw_bps : int;
+  proc_syscall : Sim.Time.t;
+  service_work : Sim.Time.t;
+  kernel_io_path : Sim.Time.t;
+  rcuda_call_overhead : Sim.Time.t;
+  congestion_window : int;
+  capspace_quota : int;
+  track_delegations : bool;
+}
+
+let default =
+  {
+    loopback_oneway = 1_210;
+    wire_oneway = 1_650;
+    pcie_extra = 630;
+    net_bandwidth_bps = 10_000_000_000;
+    pcie_bandwidth_bps = 64_000_000_000;
+    header_bytes = 60;
+    c_msg = 290;
+    c_lookup = 280;
+    c_serialize = 2_200;
+    c_cap_transfer = 2_400;
+    c_revoke = 400;
+    snic_m_msg = 1.4;
+    snic_m_lookup = 5.0;
+    snic_m_serialize = 2.8;
+    snic_m_cap = 1.6;
+    wimpy_factor = 2.0;
+    bounce_chunk = 16 * 1024;
+    copy_setup = 4_000;
+    memcpy_bw_bps = 80_000_000_000;
+    hw_copies = false;
+    double_buffering = true;
+    nvme_read_latency = Sim.Time.us 70;
+    nvme_write_latency = Sim.Time.us 12;
+    nvme_bandwidth_bps = 20_000_000_000;
+    nvme_queue_depth = 8;
+    gpu_launch = Sim.Time.us 10;
+    gpu_per_image = Sim.Time.us 25;
+    gpu_alloc = Sim.Time.us 5;
+    gpu_dma_bw_bps = 100_000_000_000;
+    proc_syscall = 150;
+    service_work = 1_500;
+    kernel_io_path = Sim.Time.us 8;
+    rcuda_call_overhead = Sim.Time.us 15;
+    congestion_window = 64;
+    capspace_quota = 4096;
+    track_delegations = false;
+  }
+
+let bytes_time ~bw_bps n =
+  if n <= 0 then 0
+  else
+    let bits = n * 8 in
+    (* ceil (bits * 1e9 / bw) without overflow for any realistic size *)
+    let t = (bits * 1_000 + (bw_bps / 1_000_000) - 1) / (bw_bps / 1_000_000) in
+    max t 1

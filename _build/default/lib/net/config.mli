@@ -1,0 +1,138 @@
+(** Calibration constants for the simulated data-center fabric and devices.
+
+    Every constant is annotated with the measurement from the FractOS paper
+    (EuroSys'22, §6) that anchors it. We calibrate so that the {e shapes} of
+    the paper's tables and figures reproduce — absolute values track the
+    paper's 3-node 10 Gbps RoCEv2 testbed closely but are not the point.
+
+    The controller compute-cost model follows the paper's own breakdown:
+    distinct cost classes (fixed message handling, capability/object lookups,
+    request (de)serialization, per-capability delegation work) that scale
+    differently on SmartNIC cores. The paper observes that sNIC slowdowns are
+    dominated by atomic-heavy lookups (">30% of the time is spent on atomic
+    shared_ptr operations"), so the lookup class carries the largest sNIC
+    multiplier. *)
+
+type t = {
+  (* -------- wire / fabric -------- *)
+  loopback_oneway : Sim.Time.t;
+      (** One-way latency through a NIC loopback queue pair on the same
+          node. Anchor: ibv_rc_pingpong RTT 2.42 us (Table 3) => 1210 ns. *)
+  wire_oneway : Sim.Time.t;
+      (** One-way cross-node latency (NIC + switch + NIC). Anchor: 1-byte
+          RDMA read takes 3.3 us round trip (§6.1) => 1650 ns. *)
+  pcie_extra : Sim.Time.t;
+      (** Extra one-way latency for crossing PCIe between a host CPU and its
+          own SmartNIC. Anchor: raw ping-pong with server @ sNIC is 3.68 us
+          vs 2.42 us @ CPU (Table 3) => (3.68-2.42)/2 = 630 ns. *)
+  net_bandwidth_bps : int;
+      (** Fabric line rate. Paper: 10 Gbps fabric and switch (Table 2). *)
+  pcie_bandwidth_bps : int;
+      (** Intra-machine DMA bandwidth (NIC loopback / PCIe): local RDMA
+          between a Process and a co-located Controller moves data over
+          PCIe, not the switch, at ~8 GB/s — which is how the prototype's
+          bounce-buffer path still reaches line rate end to end (Fig. 5). *)
+  header_bytes : int;
+      (** Fixed per-message on-wire overhead (headers, CRC). RoCEv2 ~ 60 B. *)
+  (* -------- controller compute-cost classes (host-CPU values) -------- *)
+  c_msg : Sim.Time.t;
+      (** Handling one queue message (poll, dispatch, post response slot).
+          Anchor: FractOS null op @ CPU adds 0.58 us over raw ping-pong
+          (Table 3); a null op handles request + response => 290 ns each. *)
+  c_lookup : Sim.Time.t;
+      (** One capability/object table lookup (refcounts, validation).
+          Anchor: Request handling adds 1.41 us total @ CPU (Fig. 6), of
+          which ~0.83 us beyond the two message handlings is ~3 lookups. *)
+  c_serialize : Sim.Time.t;
+      (** (De)serializing a Request for the wire, each direction. Anchor:
+          cross-node Request invocation adds 4.41 us @ CPU (Fig. 6) => ~2.2
+          us per direction. *)
+  c_cap_transfer : Sim.Time.t;
+      (** Per-capability delegation work during an invocation (validate,
+          insert into receiver cap space). Anchor: one capability argument
+          adds ~2.4 us @ CPU to an RPC (Fig. 7). *)
+  c_revoke : Sim.Time.t;
+      (** Invalidating one revocation-tree object at its owner. *)
+  (* -------- SmartNIC multipliers per cost class -------- *)
+  snic_m_msg : float;
+      (** Anchor: null op @ sNIC adds 0.82 us vs 0.58 us @ CPU => 1.4x. *)
+  snic_m_lookup : float;
+      (** Anchor: Request handling 5.11 us @ sNIC vs 1.41 us @ CPU; the gap
+          is lookup-dominated (atomics on wimpy ARM cores) => ~5x. *)
+  snic_m_serialize : float;
+      (** Anchor: 12.21 us vs 4.41 us (Fig. 6) => ~2.8x. *)
+  snic_m_cap : float;  (** Anchor: 3.8 us vs 2.4 us (Fig. 7) => ~1.6x. *)
+  wimpy_factor : float;
+      (** Flat compute multiplier for wimpy device-adaptor CPUs (all cost
+          classes). No paper anchor (adaptors ran on host CPUs); 2x is a
+          conservative embedded-core estimate. *)
+  (* -------- memory_copy path -------- *)
+  bounce_chunk : int;
+      (** Bounce-buffer chunk size; copies larger than this are split and
+          double-buffered. Paper: double buffering for > 16 KiB (Fig. 5). *)
+  copy_setup : Sim.Time.t;
+      (** Software setup per memory_copy on the owning controller. Anchor:
+          1-byte copy takes 12.7 us with CPU controllers (Fig. 5). *)
+  memcpy_bw_bps : int;
+      (** Local memory touch bandwidth for staging data in bounce buffers. *)
+  hw_copies : bool;
+      (** When true, model third-party RDMA in the NIC: memory_copy moves
+          data directly between the endpoint buffers with no bounce-buffer
+          staging (the paper's "HW copies" projection in Fig. 5). *)
+  double_buffering : bool;
+      (** Pipeline bounce-buffer chunks (read chunk i+1 while chunk i is in
+          flight). The prototype enables this for copies > 16 KiB; turning
+          it off is the ablation knob. *)
+  (* -------- NVMe device model -------- *)
+  nvme_read_latency : Sim.Time.t;
+      (** 4 KiB random-read device latency. Anchor: "NVMe latency dominates
+          (70 usec)" (§6.4). *)
+  nvme_write_latency : Sim.Time.t;
+      (** Device-level write latency with the on-device write cache hit. *)
+  nvme_bandwidth_bps : int;
+      (** Internal device bandwidth (Samsung 970evo Plus ~ 2.5 GB/s read —
+          above line rate, so the network is the bottleneck, as in the
+          paper). *)
+  nvme_queue_depth : int;  (** Parallel in-flight device commands. *)
+  (* -------- GPU device model -------- *)
+  gpu_launch : Sim.Time.t;  (** Kernel launch overhead (driver + doorbell). *)
+  gpu_per_image : Sim.Time.t;
+      (** Face-verification kernel time per image (K80-class). *)
+  gpu_alloc : Sim.Time.t;  (** Device memory de/allocation cost. *)
+  gpu_dma_bw_bps : int;  (** On-device DMA engine bandwidth. *)
+  (* -------- misc software costs -------- *)
+  proc_syscall : Sim.Time.t;
+      (** User-side cost of posting/polling one FractOS syscall. *)
+  service_work : Sim.Time.t;
+      (** Generic service-logic cost per handled request (FS metadata
+          lookup, adaptor bookkeeping, ...). *)
+  kernel_io_path : Sim.Time.t;
+      (** In-kernel software path for baseline stacks (NVMe-oF / NFS
+          request processing in Linux). *)
+  rcuda_call_overhead : Sim.Time.t;
+      (** Client+server marshalling per interposed CUDA driver call in the
+          rCUDA baseline. rCUDA interposes every driver call separately
+          (alloc, copy, launch, synchronize), which is why it loses to
+          FractOS's single-roundtrip kernel invocation (Fig. 9). *)
+  congestion_window : int;
+      (** Max outstanding FractOS responses per Process (§4 congestion
+          control). *)
+  capspace_quota : int;
+      (** Maximum capabilities per Process ("a set amount of memory for
+          the capability space as set at Process creation time (can be
+          capped via quotas)", §4). *)
+  track_delegations : bool;
+      (** Ablation knob: when true, every cross-controller capability
+          insertion/removal sends a reference-count update to the owner —
+          the delegation-tracking design the paper explicitly rejects
+          (§3.5) because it puts messages on the critical path. Revocation
+          cleanup then needs no broadcast. Default false (the paper's
+          owner-centric design). *)
+}
+
+val default : t
+(** The calibration used by all experiments unless overridden. *)
+
+val bytes_time : bw_bps:int -> int -> Sim.Time.t
+(** [bytes_time ~bw_bps n] is the time to move [n] bytes at [bw_bps] bits
+    per second, rounded up to at least 1 ns for [n > 0]. *)

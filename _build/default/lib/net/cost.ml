@@ -1,0 +1,29 @@
+type cls = Msg | Lookup | Serialize | Cap_transfer | Revoke
+
+let base (cfg : Config.t) = function
+  | Msg -> cfg.c_msg
+  | Lookup -> cfg.c_lookup
+  | Serialize -> cfg.c_serialize
+  | Cap_transfer -> cfg.c_cap_transfer
+  | Revoke -> cfg.c_revoke
+
+let factor (cfg : Config.t) (kind : Node.kind) cls =
+  match kind with
+  | Node.Host_cpu -> 1.0
+  | Node.Wimpy_cpu -> cfg.wimpy_factor
+  | Node.Smart_nic -> (
+    match cls with
+    | Msg -> cfg.snic_m_msg
+    | Lookup -> cfg.snic_m_lookup
+    | Serialize -> cfg.snic_m_serialize
+    | Cap_transfer -> cfg.snic_m_cap
+    | Revoke -> cfg.snic_m_lookup)
+
+let one cfg kind cls =
+  int_of_float (Float.round (float_of_int (base cfg cls) *. factor cfg kind cls))
+
+let v cfg kind units =
+  List.fold_left (fun acc (cls, n) -> acc + (n * one cfg kind cls)) 0 units
+
+let scaled cfg kind cls base =
+  int_of_float (Float.round (float_of_int base *. factor cfg kind cls))

@@ -1,0 +1,11 @@
+type 'a t = { name : string; node : Node.t; chan : 'a Sim.Channel.t }
+
+let create ~node name = { name; node; chan = Sim.Channel.create () }
+
+let post fab ~src ep ?cls ~size msg =
+  Fabric.send fab ~src ~dst:ep.node ?cls ~size (fun () ->
+      Sim.Channel.send ep.chan msg)
+
+let recv ep = Sim.Channel.recv ep.chan
+let try_recv ep = Sim.Channel.try_recv ep.chan
+let pending ep = Sim.Channel.length ep.chan

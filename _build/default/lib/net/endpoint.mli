@@ -1,0 +1,25 @@
+(** Typed message endpoints on fabric nodes.
+
+    An endpoint pairs a node with a mailbox. Processes and Controllers each
+    own one endpoint per peer relationship and exchange typed messages with
+    {!post} / {!recv}; the fabric handles latency, bandwidth and
+    accounting underneath. *)
+
+type 'a t = private {
+  name : string;
+  node : Node.t;
+  chan : 'a Sim.Channel.t;
+}
+
+val create : node:Node.t -> string -> 'a t
+
+val post :
+  Fabric.t -> src:Node.t -> 'a t -> ?cls:Stats.cls -> size:int -> 'a -> unit
+(** [post fab ~src ep ~size msg] sends [msg] from [src] to [ep]'s mailbox
+    through the fabric. Non-blocking. *)
+
+val recv : 'a t -> 'a
+(** Block until the next message arrives at this endpoint. *)
+
+val try_recv : 'a t -> 'a option
+val pending : 'a t -> int

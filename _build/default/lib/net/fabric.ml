@@ -1,0 +1,116 @@
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  mutable next_id : int;
+  mutable nodes : Node.t list; (* reverse creation order *)
+  mutable tracer : (Trace.event -> unit) option;
+}
+
+let create ?(config = Config.default) () =
+  { config; stats = Stats.create (); next_id = 0; nodes = []; tracer = None }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let config t = t.config
+let stats t = t.stats
+
+let add_node t ?attached_to ~name kind =
+  (match (kind, attached_to) with
+  | Node.Smart_nic, None ->
+    invalid_arg "Fabric.add_node: Smart_nic requires ~attached_to"
+  | (Node.Host_cpu | Node.Wimpy_cpu), Some _ ->
+    invalid_arg "Fabric.add_node: only Smart_nic can be attached"
+  | _ -> ());
+  let node = Node.make ~id:t.next_id ~name ~kind ~attached_to in
+  t.next_id <- t.next_id + 1;
+  t.nodes <- node :: t.nodes;
+  node
+
+let nodes t = List.rev t.nodes
+
+let base_latency t ~src ~dst =
+  let cfg = t.config in
+  if src.Node.id = dst.Node.id then cfg.loopback_oneway
+  else if Node.same_machine src dst then cfg.loopback_oneway + cfg.pcie_extra
+  else cfg.wire_oneway
+
+let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
+  let cfg = t.config in
+  let on_network = not (Node.same_machine src dst) in
+  Stats.record t.stats ~src ~dst ~cls ~bytes:size ~on_network;
+  (match t.tracer with
+  | Some record ->
+    record
+      {
+        Trace.ev_time = Sim.Engine.now ();
+        ev_src = src.Node.name;
+        ev_dst = dst.Node.name;
+        ev_cls = cls;
+        ev_bytes = size;
+        ev_local = not on_network;
+      }
+  | None -> ());
+  let wire_bytes = size + cfg.header_bytes in
+  let base = base_latency t ~src ~dst in
+  if on_network then begin
+    let ser = Config.bytes_time ~bw_bps:cfg.net_bandwidth_bps wire_bytes in
+    let tx_start, _tx_done = Sim.Resource.reserve src.Node.tx ~duration:ser in
+    let _, rx_done =
+      Sim.Resource.reserve_at dst.Node.rx ~start:(tx_start + base)
+        ~duration:ser
+    in
+    Sim.Engine.schedule (rx_done - Sim.Engine.now ()) deliver
+  end
+  else begin
+    (* intra-machine: loopback QP / PCIe DMA, off the switch *)
+    let ser = Config.bytes_time ~bw_bps:cfg.pcie_bandwidth_bps wire_bytes in
+    let _, dma_done = Sim.Resource.reserve src.Node.dma ~duration:ser in
+    Sim.Engine.schedule (dma_done + base - Sim.Engine.now ()) deliver
+  end
+
+let transfer t ~src ~dst ?cls ~size () =
+  let done_ = Sim.Ivar.create () in
+  send t ~src ~dst ?cls ~size (fun () -> Sim.Ivar.fill done_ ());
+  Sim.Ivar.await done_
+
+type utilization = {
+  u_node : string;
+  u_tx : float;
+  u_rx : float;
+  u_dma : float;
+}
+
+let utilization t ~elapsed =
+  let frac busy =
+    if elapsed <= 0 then 0.
+    else float_of_int (Sim.Resource.busy_time busy) /. float_of_int elapsed
+  in
+  List.map
+    (fun (n : Node.t) ->
+      { u_node = n.name; u_tx = frac n.tx; u_rx = frac n.rx; u_dma = frac n.dma })
+    (nodes t)
+
+let pp_utilization fmt us =
+  List.iter
+    (fun u ->
+      Format.fprintf fmt "%-12s tx %5.1f%%  rx %5.1f%%  dma %5.1f%%@." u.u_node
+        (100. *. u.u_tx) (100. *. u.u_rx) (100. *. u.u_dma))
+    us
+
+let transfer_chunked t ~src ~dst ?cls ~size ?chunk () =
+  let chunk =
+    match chunk with Some c -> c | None -> t.config.bounce_chunk
+  in
+  if size <= chunk then transfer t ~src ~dst ?cls ~size ()
+  else begin
+    let done_ = Sim.Ivar.create () in
+    let rec post off =
+      let n = min chunk (size - off) in
+      let last = off + n >= size in
+      send t ~src ~dst ?cls ~size:n (fun () ->
+          if last then Sim.Ivar.fill done_ ());
+      if not last then post (off + n)
+    in
+    post 0;
+    Sim.Ivar.await done_
+  end

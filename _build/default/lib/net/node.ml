@@ -1,0 +1,34 @@
+type kind = Host_cpu | Smart_nic | Wimpy_cpu
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  attached_to : t option;
+  tx : Sim.Resource.t;
+  rx : Sim.Resource.t;
+  dma : Sim.Resource.t;
+}
+
+let kind_to_string = function
+  | Host_cpu -> "host-cpu"
+  | Smart_nic -> "smart-nic"
+  | Wimpy_cpu -> "wimpy-cpu"
+
+let same_machine a b =
+  let root n = match n.attached_to with Some h -> h.id | None -> n.id in
+  root a = root b
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s#%d)" t.name (kind_to_string t.kind) t.id
+
+let make ~id ~name ~kind ~attached_to =
+  {
+    id;
+    name;
+    kind;
+    attached_to;
+    tx = Sim.Resource.create ();
+    rx = Sim.Resource.create ();
+    dma = Sim.Resource.create ();
+  }

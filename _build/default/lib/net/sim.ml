@@ -1,0 +1,3 @@
+(* Local alias so this library's interfaces can say [Sim.Time.t] instead of
+   [Fractos_sim.Time.t]. *)
+include Fractos_sim

@@ -1,0 +1,47 @@
+type event = {
+  ev_time : Sim.Time.t;
+  ev_src : string;
+  ev_dst : string;
+  ev_cls : Stats.cls;
+  ev_bytes : int;
+  ev_local : bool;
+}
+
+type recorder = {
+  limit : int;
+  q : event Queue.t;
+  mutable n_dropped : int;
+}
+
+let recorder ?(limit = 10_000) () = { limit; q = Queue.create (); n_dropped = 0 }
+
+let record r ev =
+  if Queue.length r.q >= r.limit then begin
+    ignore (Queue.pop r.q);
+    r.n_dropped <- r.n_dropped + 1
+  end;
+  Queue.add ev r.q
+
+let events r = List.of_seq (Queue.to_seq r.q)
+let count r = Queue.length r.q
+let dropped r = r.n_dropped
+
+let pp_event fmt ev =
+  Format.fprintf fmt "%-10s %-12s -> %-12s %-7s %6dB%s"
+    (Sim.Time.to_string ev.ev_time)
+    ev.ev_src ev.ev_dst
+    (match ev.ev_cls with Stats.Control -> "control" | Stats.Data -> "data")
+    ev.ev_bytes
+    (if ev.ev_local then "  (local)" else "")
+
+let pp_timeline ?(skip_local = false) ?limit fmt r =
+  let evs = events r in
+  let evs = if skip_local then List.filter (fun e -> not e.ev_local) evs else evs in
+  let evs =
+    match limit with
+    | None -> evs
+    | Some n -> List.filteri (fun i _ -> i < n) evs
+  in
+  List.iter (fun ev -> Format.fprintf fmt "%a@." pp_event ev) evs;
+  if r.n_dropped > 0 then
+    Format.fprintf fmt "(%d earlier events dropped)@." r.n_dropped

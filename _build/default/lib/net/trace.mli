@@ -1,0 +1,35 @@
+(** Message-level tracing.
+
+    When a tracer is installed on a {!Fabric.t}, every message send emits
+    an {!event} (at its departure instant). The bundled {!recorder} keeps
+    a bounded in-memory log that tools can render as a timeline — the
+    moral equivalent of a packet capture on the simulated fabric, used by
+    the CLI's [--trace] and handy when debugging request graphs. *)
+
+type event = {
+  ev_time : Sim.Time.t;  (** departure instant *)
+  ev_src : string;
+  ev_dst : string;
+  ev_cls : Stats.cls;
+  ev_bytes : int;
+  ev_local : bool;  (** intra-machine (loopback/PCIe) *)
+}
+
+type recorder
+
+val recorder : ?limit:int -> unit -> recorder
+(** A bounded recorder (default 10_000 events; older events are dropped
+    once full). *)
+
+val record : recorder -> event -> unit
+val events : recorder -> event list
+(** Recorded events, oldest first. *)
+
+val count : recorder -> int
+val dropped : recorder -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_timeline :
+  ?skip_local:bool -> ?limit:int -> Format.formatter -> recorder -> unit
+(** Render the recorded events, one per line. *)

@@ -1,0 +1,1 @@
+lib/services/blockdev.ml: Api Args Error Fractos_core Fractos_device Hashtbl List Logs Membuf Staging State Svc

@@ -1,0 +1,1 @@
+lib/services/blockdev.mli: Fractos_core Fractos_device Svc

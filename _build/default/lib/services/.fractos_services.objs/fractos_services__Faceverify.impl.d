@@ -1,0 +1,1 @@
+lib/services/faceverify.ml: Api Args Array Bytes Error Fractos_core Fractos_device Fractos_net Fs Gpu_adaptor Hashtbl Membuf Perms Process Sim State String Svc

@@ -1,0 +1,1 @@
+lib/services/faceverify.mli: Fractos_core Fractos_device Fractos_net Svc

@@ -1,0 +1,1 @@
+lib/services/flow.ml: Api Args Error Fractos_core Gpu_adaptor List Sim State String Svc

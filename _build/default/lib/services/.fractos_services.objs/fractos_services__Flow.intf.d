@@ -1,0 +1,1 @@
+lib/services/flow.mli: Fractos_core Gpu_adaptor Svc

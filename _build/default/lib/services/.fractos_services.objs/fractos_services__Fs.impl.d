@@ -1,0 +1,1 @@
+lib/services/fs.ml: Api Args Array Blockdev Bytes Error Fractos_core Hashtbl List Logs Membuf Perms Staging State Svc

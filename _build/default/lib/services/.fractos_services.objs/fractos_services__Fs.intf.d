@@ -1,0 +1,1 @@
+lib/services/fs.mli: Fractos_core Svc

@@ -1,0 +1,1 @@
+lib/services/gpu_adaptor.ml: Api Args Error Fractos_core Fractos_device Hashtbl List Logs Membuf Perms Staging State Svc

@@ -1,0 +1,1 @@
+lib/services/gpu_adaptor.mli: Fractos_core Fractos_device Svc

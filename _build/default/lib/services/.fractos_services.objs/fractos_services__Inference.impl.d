@@ -1,0 +1,1 @@
+lib/services/inference.ml: Api Args Array Bytes Error Faceverify Fractos_core Fs Gpu_adaptor Hashtbl Membuf Perms Process Sim State String Svc

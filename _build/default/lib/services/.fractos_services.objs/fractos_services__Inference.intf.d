@@ -1,0 +1,1 @@
+lib/services/inference.mli: Fractos_core Svc

@@ -1,0 +1,1 @@
+lib/services/kvstore.ml: Api Args Blockdev Error Fractos_core Hashtbl List Staging State Svc

@@ -1,0 +1,1 @@
+lib/services/kvstore.mli: Fractos_core Svc

@@ -1,0 +1,1 @@
+lib/services/registry.ml: Api Args Error Fractos_core Hashtbl State Svc

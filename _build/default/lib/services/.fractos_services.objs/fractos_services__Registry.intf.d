@@ -1,0 +1,1 @@
+lib/services/registry.mli: Fractos_core Svc

@@ -1,0 +1,1 @@
+lib/services/replica.ml: Api Array Error Fractos_core List Sim State Svc

@@ -1,0 +1,1 @@
+lib/services/replica.mli: Fractos_core Svc

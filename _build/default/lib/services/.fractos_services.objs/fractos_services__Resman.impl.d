@@ -1,0 +1,1 @@
+lib/services/resman.ml: Api Args Error Fractos_core Hashtbl List State Svc

@@ -1,0 +1,1 @@
+lib/services/resman.mli: Fractos_core Svc

@@ -1,0 +1,1 @@
+lib/services/staging.ml: Api Fractos_core Fun Hashtbl Membuf Perms Process

@@ -1,0 +1,1 @@
+lib/services/staging.mli: Fractos_core

@@ -1,0 +1,1 @@
+lib/services/svc.ml: Api Args Error Fractos_core Fractos_sim Hashtbl List Logs Printf Process State String

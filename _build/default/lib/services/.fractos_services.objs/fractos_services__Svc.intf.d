@@ -1,0 +1,1 @@
+lib/services/svc.mli: Fractos_core Fractos_sim

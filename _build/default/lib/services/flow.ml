@@ -1,0 +1,135 @@
+module Core = Fractos_core
+open Core
+
+type stage_fn =
+  Svc.t -> next:Api.cid -> err:Api.cid -> (Api.cid, Error.t) result
+
+type t = stage_fn list (* pipeline order *)
+
+let stage f = [ f ]
+let ( >>> ) a b = a @ b
+
+let all = function
+  | [] -> invalid_arg "Flow.all: empty pipeline"
+  | ps -> List.concat ps
+
+let invoke ~req ?(imms = []) ?(caps = []) () =
+  stage (fun svc ~next ~err ->
+      ignore err;
+      Api.request_derive (Svc.proc svc) req ~imms ~caps:(caps @ [ next ]) ())
+
+let blk_read ~req ~off ~len ~dst =
+  stage (fun svc ~next ~err ->
+      Api.request_derive (Svc.proc svc) req
+        ~imms:[ Args.of_int off; Args.of_int len ]
+        ~caps:[ dst; next; err ] ())
+
+let blk_write ~req ~off ~len ~src =
+  stage (fun svc ~next ~err ->
+      Api.request_derive (Svc.proc svc) req
+        ~imms:[ Args.of_int off; Args.of_int len ]
+        ~caps:[ src; next; err ] ())
+
+let gpu_kernel ~req ~items ~bufs ~user =
+  stage (fun svc ~next ~err ->
+      Api.request_derive (Svc.proc svc) req
+        ~imms:(Gpu_adaptor.invoke_args ~items ~bufs ~user)
+        ~caps:[ next; err ] ())
+
+(* Compile back to front: the last stage continues into the final
+   success/error pair; every earlier stage continues into its successor.
+   Each stage shares the same error continuation, so any stage's failure
+   resumes the caller with an error. *)
+let compile svc flow ~ok_cont ~err_cont =
+  let rec go = function
+    | [] -> Ok ok_cont
+    | f :: rest -> (
+      match go rest with
+      | Error _ as e -> e
+      | Ok next -> f svc ~next ~err:err_cont)
+  in
+  go flow
+
+(* Fork/join: the stage's Request fans out to every branch; a counting
+   join Request (served by the running Process) fires the outer
+   continuation when the last branch lands. Join state is created fresh
+   per firing, so a fork_join Flow is safe to run repeatedly and
+   concurrently. *)
+let fork_join branches =
+  stage (fun svc ~next ~err ->
+      let proc = Svc.proc svc in
+      let fan_tag = Svc.fresh_tag svc in
+      Svc.handle svc ~tag:fan_tag (fun svc _d ->
+          let n = List.length branches in
+          let remaining = ref n and failed = ref false in
+          let ok_tag = Svc.fresh_tag svc and err_tag = Svc.fresh_tag svc in
+          Svc.handle svc ~tag:ok_tag (fun svc _ ->
+              decr remaining;
+              if !remaining = 0 && not !failed then
+                ignore (Api.request_invoke (Svc.proc svc) next));
+          Svc.handle svc ~tag:err_tag (fun svc _ ->
+              if not !failed then begin
+                failed := true;
+                ignore (Api.request_invoke (Svc.proc svc) err)
+              end);
+          match
+            ( Api.request_create (Svc.proc svc) ~tag:ok_tag (),
+              Api.request_create (Svc.proc svc) ~tag:err_tag () )
+          with
+          | Error _, _ | _, Error _ ->
+            ignore (Api.request_invoke (Svc.proc svc) err)
+          | Ok join_ok, Ok join_err ->
+            List.iter
+              (fun branch ->
+                match
+                  compile svc branch ~ok_cont:join_ok ~err_cont:join_err
+                with
+                | Ok head -> ignore (Api.request_invoke (Svc.proc svc) head)
+                | Error _ ->
+                  if not !failed then begin
+                    failed := true;
+                    ignore (Api.request_invoke (Svc.proc svc) err)
+                  end)
+              branches);
+      Api.request_create proc ~tag:fan_tag ())
+
+let launch svc flow k =
+  let proc = Svc.proc svc in
+  let ok_tag = Svc.fresh_tag svc and err_tag = Svc.fresh_tag svc in
+  match
+    ( Api.request_create proc ~tag:ok_tag (),
+      Api.request_create proc ~tag:err_tag () )
+  with
+  | Error e, _ | _, Error e -> Error e
+  | Ok ok_cont, Ok err_cont -> (
+    let iv = Svc.expect_pair svc ~ok:ok_tag ~err:err_tag in
+    let cleanup () =
+      Svc.unexpect svc ~tag:ok_tag;
+      Svc.unexpect svc ~tag:err_tag
+    in
+    match compile svc flow ~ok_cont ~err_cont with
+    | Error e ->
+      cleanup ();
+      Error e
+    | Ok head -> (
+      match Api.request_invoke proc head with
+      | Error e ->
+        cleanup ();
+        Error e
+      | Ok () ->
+        k (fun () ->
+            let d = Sim.Ivar.await iv in
+            cleanup ();
+            if String.equal d.State.d_tag ok_tag then Ok ()
+            else Error (Error.Bad_argument "pipeline stage failed"));
+        Ok ()))
+
+let run svc flow =
+  let result = ref (Ok ()) in
+  match launch svc flow (fun wait -> result := wait ()) with
+  | Error _ as e -> e
+  | Ok () -> !result
+
+let run_async svc flow callback =
+  launch svc flow (fun wait ->
+      Sim.Engine.spawn (fun () -> callback (wait ())))

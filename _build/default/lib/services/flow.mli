@@ -1,0 +1,83 @@
+(** Dataflow combinators over FractOS Requests.
+
+    The paper's §7 plans "streaming and dataflow" programming models as a
+    thin layer on libfractos; this module is that layer. A {!t} describes
+    a pipeline of stages; {!run} compiles it {e back to front} into a chain
+    of derived Requests — each stage's Request refined with the next
+    stage's Request as its continuation — fires the head, and waits for
+    the final continuation. The pipeline then executes fully
+    decentralized: each device invokes the next, and only the completion
+    returns to the caller (the paper's distributed
+    continuation-passing-style model, §3.4).
+
+    A stage is any function that, given the running service context and
+    the success and error continuations, derives the Request to run — so
+    every service convention (block device [mem; next; err], GPU
+    [ok; err], custom services) plugs in; constructors for the standard
+    conventions are provided. *)
+
+module Core = Fractos_core
+
+type t
+
+val stage :
+  (Svc.t ->
+  next:Core.Api.cid ->
+  err:Core.Api.cid ->
+  (Core.Api.cid, Core.Error.t) result) ->
+  t
+(** The general constructor: build this stage's Request from its
+    continuations. *)
+
+val ( >>> ) : t -> t -> t
+(** Sequence two pipelines. *)
+
+val all : t list -> t
+(** Sequence a list of pipelines ([all [a; b; c] = a >>> b >>> c]).
+    Raises [Invalid_argument] on the empty list. *)
+
+(** {1 Standard stage constructors} *)
+
+val invoke : req:Core.Api.cid -> ?imms:Core.Args.imm list ->
+  ?caps:Core.Api.cid list -> unit -> t
+(** A stage for services using the trailing-continuation convention:
+    derives [req] with [imms] and [caps @ [next]] (no error path). *)
+
+val blk_read :
+  req:Core.Api.cid -> off:int -> len:int -> dst:Core.Api.cid -> t
+(** A block-device (or DAX) read into [dst]
+    ({!Blockdev} capability convention [[dst; next; err]]). *)
+
+val blk_write :
+  req:Core.Api.cid -> off:int -> len:int -> src:Core.Api.cid -> t
+(** A block-device write from [src]. *)
+
+val gpu_kernel :
+  req:Core.Api.cid ->
+  items:int ->
+  bufs:Gpu_adaptor.buffer list ->
+  user:Core.Args.imm list ->
+  t
+(** A GPU kernel launch ({!Gpu_adaptor} convention [[ok; err]]). *)
+
+val fork_join : t list -> t
+(** The fork/join pattern of §3.4: all branches are fired concurrently
+    when the stage is reached; the pipeline continues when every branch
+    has completed (any branch signalling its error continuation fails the
+    stage). The join point is a counting Request served by the running
+    Process — branches invoke it directly from wherever they finish, so
+    the branches themselves still execute peer-to-peer. *)
+
+(** {1 Execution} *)
+
+val run : Svc.t -> t -> (unit, Core.Error.t) result
+(** Compile, invoke, and block until the pipeline's last stage invokes the
+    final continuation. Returns [Error] if any stage signals its error
+    continuation (or compilation fails). *)
+
+val run_async :
+  Svc.t -> t -> ((unit, Core.Error.t) result -> unit) ->
+  (unit, Core.Error.t) result
+(** Fire the pipeline and return immediately; the callback runs (in a
+    fresh fiber) when it completes. The returned value is the posting
+    status. *)

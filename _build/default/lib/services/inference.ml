@@ -1,0 +1,200 @@
+module Core = Fractos_core
+open Core
+
+type slot = {
+  s_index : int;
+  probe_gpu : Gpu_adaptor.buffer;
+  db_gpu : Gpu_adaptor.buffer;
+  out_gpu : Gpu_adaptor.buffer;
+  probe_host : Membuf.t;
+  probe_mem : Api.cid;
+  out_host : Membuf.t;
+  out_mem : Api.cid;
+  probe_views : (int, Api.cid) Hashtbl.t;
+  out_gpu_views : (int, Api.cid) Hashtbl.t;
+}
+
+type t = {
+  isvc : Svc.t;
+  input : Fs.handle; (* DAX read-only *)
+  output_write : Api.cid; (* FS-mode write Request of the output file *)
+  invoke_req : Api.cid;
+  img_size : int;
+  max_batch : int;
+  slots : slot Sim.Channel.t;
+}
+
+let make_slot svc ~gpu_alloc ~img_size ~max_batch ~index =
+  let proc = Svc.proc svc in
+  let data_len = max_batch * img_size in
+  match
+    ( Gpu_adaptor.alloc svc ~alloc_req:gpu_alloc ~size:data_len,
+      Gpu_adaptor.alloc svc ~alloc_req:gpu_alloc ~size:data_len,
+      Gpu_adaptor.alloc svc ~alloc_req:gpu_alloc ~size:max_batch )
+  with
+  | Ok probe_gpu, Ok db_gpu, Ok out_gpu -> (
+    let probe_host = Process.alloc proc data_len in
+    let out_host = Process.alloc proc max_batch in
+    match
+      ( Api.memory_create proc probe_host Perms.rw,
+        Api.memory_create proc out_host Perms.rw )
+    with
+    | Ok probe_mem, Ok out_mem ->
+      Ok
+        {
+          s_index = index;
+          probe_gpu;
+          db_gpu;
+          out_gpu;
+          probe_host;
+          probe_mem;
+          out_host;
+          out_mem;
+          probe_views = Hashtbl.create 4;
+          out_gpu_views = Hashtbl.create 4;
+        }
+    | Error e, _ | _, Error e -> Error e)
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+
+let setup svc ~fs ~gpu_alloc ~gpu_load ~input_db ~output_file ~img_size
+    ~max_batch ~depth =
+  match Fs.open_ svc ~fs ~name:input_db Fs.Dax_ro with
+  | Error _ as e -> e
+  | Ok input -> (
+    match Fs.create svc ~fs ~name:output_file ~size:(depth * max_batch) with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Fs.open_ svc ~fs ~name:output_file Fs.Fs_rw with
+      | Error _ as e -> e
+      | Ok out_handle -> (
+        match out_handle.Fs.h_write with
+        | None -> Error (Error.Bad_argument "output file not writable")
+        | Some output_write -> (
+          match Gpu_adaptor.load svc ~load_req:gpu_load ~name:Faceverify.kernel_name with
+          | Error _ as e -> e
+          | Ok invoke_req -> (
+            let slots = Sim.Channel.create () in
+            let rec fill i =
+              if i = depth then Ok ()
+              else
+                match make_slot svc ~gpu_alloc ~img_size ~max_batch ~index:i with
+                | Error _ as e -> e
+                | Ok slot ->
+                  Sim.Channel.send slots slot;
+                  fill (i + 1)
+            in
+            match fill 0 with
+            | Error e -> Error e
+            | Ok () ->
+              Ok { isvc = svc; input; output_write; invoke_req; img_size;
+                   max_batch; slots })))))
+
+let output_record_offset t ~slot = slot * t.max_batch
+
+let view proc cache mem ~len ~full =
+  if len = full then Ok mem
+  else
+    match Hashtbl.find_opt cache len with
+    | Some v -> Ok v
+    | None -> (
+      match Api.memory_diminish proc mem ~off:0 ~len ~drop:Perms.none with
+      | Error _ as e -> e
+      | Ok v ->
+        Hashtbl.replace cache len v;
+        Ok v)
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let infer t ~start_id ~batch ~probes =
+  let svc = t.isvc in
+  let proc = Svc.proc svc in
+  if batch > t.max_batch then Error (Error.Bad_argument "batch too large")
+  else if Bytes.length probes <> batch * t.img_size then
+    Error (Error.Bad_argument "probe size mismatch")
+  else begin
+    let slot = Sim.Channel.recv t.slots in
+    let finish r =
+      Sim.Channel.send t.slots slot;
+      r
+    in
+    let data_len = batch * t.img_size in
+    Membuf.write slot.probe_host ~off:0 probes;
+    let result =
+      (* 1. probes into GPU memory *)
+      let* probe_view =
+        view proc slot.probe_views slot.probe_mem ~len:data_len
+          ~full:(t.max_batch * t.img_size)
+      in
+      let* () =
+        Api.memory_copy proc ~src:probe_view ~dst:slot.probe_gpu.Gpu_adaptor.mem
+      in
+      (* build the ring back to front: final continuation <- output write
+         (composed through the FS onto the output SSD, which pulls from
+         GPU memory) <- kernel <- input read *)
+      let ok_tag = Svc.fresh_tag svc and err_tag = Svc.fresh_tag svc in
+      let* ok_cont = Api.request_create proc ~tag:ok_tag () in
+      let* err_cont = Api.request_create proc ~tag:err_tag () in
+      let iv = Svc.expect_pair svc ~ok:ok_tag ~err:err_tag in
+      let cleanup () =
+        Svc.unexpect svc ~tag:ok_tag;
+        Svc.unexpect svc ~tag:err_tag
+      in
+      let chain =
+        let* gpu_out_view =
+          view proc slot.out_gpu_views slot.out_gpu.Gpu_adaptor.mem ~len:batch
+            ~full:t.max_batch
+        in
+        let* write_req =
+          Api.request_derive proc t.output_write
+            ~imms:
+              [
+                Args.of_int (output_record_offset t ~slot:slot.s_index);
+                Args.of_int batch;
+              ]
+            ~caps:[ gpu_out_view; ok_cont ] ()
+        in
+        let* kernel_req =
+          Api.request_derive proc t.invoke_req
+            ~imms:
+              (Gpu_adaptor.invoke_args ~items:batch
+                 ~bufs:[ slot.probe_gpu; slot.db_gpu; slot.out_gpu ]
+                 ~user:[ Args.of_int batch; Args.of_int t.img_size ])
+            ~caps:[ write_req; err_cont ] ()
+        in
+        let* ext, read_imms =
+          match
+            Fs.read_request_args t.input ~off:(start_id * t.img_size)
+              ~len:data_len
+          with
+          | Some x -> Ok x
+          | None -> Error (Error.Bad_argument "range spans extents")
+        in
+        if ext >= Array.length t.input.Fs.h_dax_read then
+          Error (Error.Bad_argument "extent out of range")
+        else
+          let* pipeline =
+            Api.request_derive proc t.input.Fs.h_dax_read.(ext) ~imms:read_imms
+              ~caps:[ slot.db_gpu.Gpu_adaptor.mem; kernel_req ] ()
+          in
+          Api.request_invoke proc pipeline
+      in
+      match chain with
+      | Error e ->
+        cleanup ();
+        Error e
+      | Ok () ->
+        let d = Sim.Ivar.await iv in
+        cleanup ();
+        if not (String.equal d.State.d_tag ok_tag) then
+          Error (Error.Bad_argument "inference ring failed")
+        else
+          (* results back for the client response *)
+          let* gpu_out_view =
+            view proc slot.out_gpu_views slot.out_gpu.Gpu_adaptor.mem
+              ~len:batch ~full:t.max_batch
+          in
+          let* () = Api.memory_copy proc ~src:gpu_out_view ~dst:slot.out_mem in
+          Ok (Membuf.read slot.out_host ~off:0 ~len:batch)
+    in
+    finish result
+  end

@@ -1,0 +1,48 @@
+(** The complete inference ring of Fig. 2 — including the output leg.
+
+    Where {!Faceverify} covers the paper's §5 evaluation app (read → GPU →
+    respond), this service implements the full motivating scenario:
+
+    + read the request's input images from the {e input} SSD directly into
+      GPU memory (DAX),
+    + run the inference kernel,
+    + write the result to a file on the FS service — which, with
+      write-through composition enabled, {e refines the output SSD's write
+      Request with the GPU memory capability and the application's
+      continuation}: the output SSD pulls the results straight out of GPU
+      memory and resumes the application, cutting both the FS and the app
+      out of the output data path (steps (d)-(e) of Fig. 2),
+    + respond to the client.
+
+    The ring topology means the application node only sees control
+    messages after setup; all data moves peer-to-peer between the SSDs and
+    the GPU. *)
+
+module Core = Fractos_core
+
+type t
+
+val setup :
+  Svc.t ->
+  fs:Core.Api.cid ->
+  gpu_alloc:Core.Api.cid ->
+  gpu_load:Core.Api.cid ->
+  input_db:string ->
+  output_file:string ->
+  img_size:int ->
+  max_batch:int ->
+  depth:int ->
+  (t, Core.Error.t) result
+(** [input_db] must exist (one extent); [output_file] is created, one
+    result record of [max_batch] bytes per request slot. The FS should be
+    started with [~write_through:true] for the composed output path. *)
+
+val infer :
+  t -> start_id:int -> batch:int -> probes:bytes ->
+  (bytes, Core.Error.t) result
+(** One request through the ring. Returns the match vector (also persisted
+    to the output file at the slot's record offset). Blocking; up to
+    [depth] concurrent callers. *)
+
+val output_record_offset : t -> slot:int -> int
+(** Where slot [slot]'s results land in the output file (for tests). *)

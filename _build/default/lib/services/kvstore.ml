@@ -1,0 +1,220 @@
+module Core = Fractos_core
+open Core
+
+type record = { rec_off : int; rec_len : int }
+
+type t = {
+  ksvc : Svc.t;
+  base : Api.cid;
+  vol : Blockdev.vol;
+  index : (string, record) Hashtbl.t;
+  staging : Staging.t;
+  mutable tail : int; (* next append offset *)
+}
+
+let entries t = Hashtbl.length t.index
+let log_used t = t.tail
+
+(* Drive a per-volume continuation-style Request synchronously. *)
+let vol_op svc req ~off ~len ~mem =
+  match
+    Svc.call_cont svc ~svc:req
+      ~imms:[ Args.of_int off; Args.of_int len ]
+      ~place:(fun ~ok ~err -> [ mem; ok; err ])
+      ()
+  with
+  | Error _ as e -> e
+  | Ok (true, _) -> Ok ()
+  | Ok (false, _) -> Error Error.Bounds
+
+let handle_put t svc d =
+  match (d.State.d_imms, Svc.args_and_reply d) with
+  | [ key; len ], ([ src_mem ], _) -> (
+    let key = Args.to_string key and len = Args.to_int len in
+    if t.tail + len > t.vol.Blockdev.vol_size then Svc.reply svc d ~status:3 ()
+    else
+      (* pull the value from the client, then append it to the log *)
+      let res =
+        Staging.with_slot t.staging len (fun slot ->
+            match
+              Api.memory_copy (Svc.proc svc) ~src:src_mem ~dst:slot.Staging.mem
+            with
+            | Error _ as e -> e
+            | Ok () ->
+              vol_op svc t.vol.Blockdev.write_req ~off:t.tail ~len
+                ~mem:slot.Staging.mem)
+      in
+      match res with
+      | Error _ -> Svc.reply svc d ~status:1 ()
+      | Ok () ->
+        Hashtbl.replace t.index key { rec_off = t.tail; rec_len = len };
+        t.tail <- t.tail + len;
+        Svc.reply svc d ~status:0 ())
+  | _ -> Svc.reply svc d ~status:2 ()
+
+let handle_get t svc d =
+  match (d.State.d_imms, Svc.args_and_reply d) with
+  | [ key ], ([ dst_mem ], _) -> (
+    let key = Args.to_string key in
+    match Hashtbl.find_opt t.index key with
+    | None -> Svc.reply svc d ~status:4 ()
+    | Some r -> (
+      let res =
+        Staging.with_slot t.staging r.rec_len (fun slot ->
+            match
+              vol_op svc t.vol.Blockdev.read_req ~off:r.rec_off ~len:r.rec_len
+                ~mem:slot.Staging.mem
+            with
+            | Error _ as e -> e
+            | Ok () ->
+              Api.memory_copy (Svc.proc svc) ~src:slot.Staging.mem ~dst:dst_mem)
+      in
+      match res with
+      | Error _ -> Svc.reply svc d ~status:1 ()
+      | Ok () -> Svc.reply svc d ~status:0 ~imms:[ Args.of_int r.rec_len ] ()))
+  | _ -> Svc.reply svc d ~status:2 ()
+
+let handle_locate t svc d =
+  match d.State.d_imms with
+  | [ key ] -> (
+    let key = Args.to_string key in
+    match Hashtbl.find_opt t.index key with
+    | None -> Svc.reply svc d ~status:4 ()
+    | Some r ->
+      (* hand the client the device's own read Request — the DAX pattern *)
+      Svc.reply svc d ~status:0
+        ~imms:[ Args.of_int r.rec_off; Args.of_int r.rec_len ]
+        ~caps:[ t.vol.Blockdev.read_req ] ())
+  | _ -> Svc.reply svc d ~status:2 ()
+
+let handle_delete t svc d =
+  match d.State.d_imms with
+  | [ key ] ->
+    let key = Args.to_string key in
+    if Hashtbl.mem t.index key then begin
+      Hashtbl.remove t.index key;
+      Svc.reply svc d ~status:0 ()
+    end
+    else Svc.reply svc d ~status:4 ()
+  | _ -> Svc.reply svc d ~status:2 ()
+
+let start proc ~create_vol ?(log_size = 16 * 1024 * 1024) () =
+  let ksvc = Svc.create proc in
+  match Blockdev.create_vol ksvc ~create_req:create_vol ~size:log_size with
+  | Error _ as e -> e
+  | Ok vol ->
+    let base = Error.ok_exn (Api.request_create proc ~tag:"kv" ()) in
+    let t =
+      {
+        ksvc;
+        base;
+        vol;
+        index = Hashtbl.create 64;
+        staging = Staging.create proc;
+        tail = 0;
+      }
+    in
+    Svc.handle ksvc ~tag:"kv" (fun svc d ->
+        match d.State.d_imms with
+        | op :: rest -> (
+          let d' = { d with State.d_imms = rest } in
+          match Args.to_string op with
+          | "put" -> handle_put t svc d'
+          | "get" -> handle_get t svc d'
+          | "locate" -> handle_locate t svc d'
+          | "delete" -> handle_delete t svc d'
+          | _ -> Svc.reply svc d ~status:2 ())
+        | [] -> Svc.reply svc d ~status:2 ());
+    Ok t
+
+let base_request t = t.base
+
+let compact t =
+  let svc = t.ksvc in
+  let live =
+    Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.index []
+    |> List.sort (fun (_, a) (_, b) -> compare a.rec_off b.rec_off)
+  in
+  let rec go tail = function
+    | [] -> Ok tail
+    | (key, r) :: rest ->
+      if r.rec_off = tail then go (tail + r.rec_len) rest
+      else
+        let res =
+          Staging.with_slot t.staging r.rec_len (fun slot ->
+              match
+                vol_op svc t.vol.Blockdev.read_req ~off:r.rec_off ~len:r.rec_len
+                  ~mem:slot.Staging.mem
+              with
+              | Error _ as e -> e
+              | Ok () ->
+                vol_op svc t.vol.Blockdev.write_req ~off:tail ~len:r.rec_len
+                  ~mem:slot.Staging.mem)
+        in
+        (match res with
+        | Error _ as e -> e
+        | Ok () ->
+          Hashtbl.replace t.index key { rec_off = tail; rec_len = r.rec_len };
+          go (tail + r.rec_len) rest)
+  in
+  match go 0 live with
+  | Error _ as e -> e
+  | Ok tail ->
+    let reclaimed = t.tail - tail in
+    t.tail <- tail;
+    Ok reclaimed
+
+let put svc ~kv ~key ~src ~len =
+  match
+    Svc.call svc ~svc:kv
+      ~imms:[ Args.of_string "put"; Args.of_string key; Args.of_int len ]
+      ~caps:[ src ] ()
+  with
+  | Error _ as e -> e
+  | Ok d -> (
+    match Svc.status d with
+    | 0 -> Ok ()
+    | 3 -> Error Error.Bounds
+    | _ -> Error (Error.Bad_argument "kv.put failed"))
+
+let get svc ~kv ~key ~dst =
+  match
+    Svc.call svc ~svc:kv
+      ~imms:[ Args.of_string "get"; Args.of_string key ]
+      ~caps:[ dst ] ()
+  with
+  | Error _ as e -> e
+  | Ok d -> (
+    match Svc.status d with
+    | 0 -> (
+      match Svc.payload_imms d with
+      | [ len ] -> Ok (Args.to_int len)
+      | _ -> Error (Error.Bad_argument "kv.get: malformed reply"))
+    | 4 -> Error Error.Invalid_cap
+    | _ -> Error (Error.Bad_argument "kv.get failed"))
+
+let locate svc ~kv ~key =
+  match
+    Svc.call svc ~svc:kv ~imms:[ Args.of_string "locate"; Args.of_string key ] ()
+  with
+  | Error _ as e -> e
+  | Ok d -> (
+    match Svc.status d with
+    | 0 -> (
+      match (Svc.payload_imms d, d.State.d_caps) with
+      | [ off; len ], [ read_req ] ->
+        Ok (read_req, Args.to_int off, Args.to_int len)
+      | _ -> Error (Error.Bad_argument "kv.locate: malformed reply"))
+    | 4 -> Error Error.Invalid_cap
+    | _ -> Error (Error.Bad_argument "kv.locate failed"))
+
+let delete svc ~kv ~key =
+  match
+    Svc.call svc ~svc:kv ~imms:[ Args.of_string "delete"; Args.of_string key ] ()
+  with
+  | Error _ as e -> e
+  | Ok d -> (
+    match Svc.status d with
+    | 0 -> Ok ()
+    | 4 -> Error Error.Invalid_cap
+    | _ -> Error (Error.Bad_argument "kv.delete failed"))

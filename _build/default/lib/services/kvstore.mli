@@ -1,0 +1,71 @@
+(** Log-structured key/value store over a block-device volume.
+
+    The paper's TCB carries "a key/value store to bootstrap capabilities"
+    (§4); this is the data-plane sibling — a persistent store whose
+    interface shows off the same composition options as the file system:
+
+    - {b mediated} access ([put]/[get]): values move through the KV
+      Process, which appends records to its log volume and serves reads
+      from it (centralized, like FS mode);
+    - {b direct} access ([locate]): the store replies with the volume's
+      own read Request plus the record's offset and length, so the client
+      pulls the value straight from the SSD — the DAX pattern applied to
+      a higher-level service. Compaction or overwrite invalidates located
+      extents only logically (a stale locate reads the old record, exactly
+      like a file overwritten under an open DAX handle), so [locate] is a
+      read-mostly optimization, which is what the paper's storage
+      discussion prescribes.
+
+    The log is write-once per record; [put] of an existing key appends a
+    new record and repoints the index (old records become garbage — a
+    compactor is out of scope). Values are raw bytes up to the volume's
+    remaining capacity. *)
+
+module Core = Fractos_core
+
+type t
+
+val start :
+  Core.Process.t -> create_vol:Core.Api.cid -> ?log_size:int -> unit ->
+  (t, Core.Error.t) result
+(** Run the store on the given Process, allocating a [log_size] (default
+    16 MiB) volume through the block adaptor's management Request. *)
+
+val base_request : t -> Core.Api.cid
+(** The store's RPC Request ([kv] operations), for bootstrap/registry. *)
+
+val entries : t -> int
+(** Live keys. *)
+
+val log_used : t -> int
+(** Bytes appended to the log so far (including superseded records). *)
+
+val compact : t -> (int, Core.Error.t) result
+(** Rewrite live records to the front of the log, reclaiming the space of
+    superseded and deleted ones; returns the number of bytes reclaimed.
+    Run from the store's own fiber context (server-side maintenance).
+    Outstanding [locate] extents for moved records go stale, as documented
+    for DAX-style handles. *)
+
+(** {1 Client side} *)
+
+val put :
+  Svc.t -> kv:Core.Api.cid -> key:string -> src:Core.Api.cid -> len:int ->
+  (unit, Core.Error.t) result
+(** Store [len] bytes from the [src] Memory capability under [key]. *)
+
+val get :
+  Svc.t -> kv:Core.Api.cid -> key:string -> dst:Core.Api.cid ->
+  (int, Core.Error.t) result
+(** Fetch [key]'s value into [dst] (which must be large enough); returns
+    the value length. [Error Invalid_cap] if the key is unknown. *)
+
+val locate :
+  Svc.t -> kv:Core.Api.cid -> key:string ->
+  (Core.Api.cid * int * int, Core.Error.t) result
+(** DAX-style: returns (volume read Request, offset, length) for [key]'s
+    current record; the client refines and invokes it to read directly
+    from the device. *)
+
+val delete :
+  Svc.t -> kv:Core.Api.cid -> key:string -> (unit, Core.Error.t) result

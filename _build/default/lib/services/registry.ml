@@ -1,0 +1,48 @@
+module Core = Fractos_core
+open Core
+
+type t = { svc : Svc.t; base : Api.cid; table : (string, Api.cid) Hashtbl.t }
+
+let start proc =
+  let svc = Svc.create proc in
+  let base = Error.ok_exn (Api.request_create proc ~tag:"reg" ()) in
+  let t = { svc; base; table = Hashtbl.create 16 } in
+  Svc.handle svc ~tag:"reg" (fun svc d ->
+      match d.State.d_imms with
+      | [ op; name ] when Args.to_string op = "put" -> (
+        match Svc.args_and_reply d with
+        | [ cap ], _ ->
+          Hashtbl.replace t.table (Args.to_string name) cap;
+          Svc.reply svc d ~status:0 ()
+        | _ -> Svc.reply svc d ~status:2 ())
+      | [ op; name ] when Args.to_string op = "get" -> (
+        match Hashtbl.find_opt t.table (Args.to_string name) with
+        | Some cap -> Svc.reply svc d ~status:0 ~caps:[ cap ] ()
+        | None -> Svc.reply svc d ~status:1 ())
+      | _ -> Svc.reply svc d ~status:2 ());
+  t
+
+let base_request t = t.base
+
+let publish svc ~registry ~name cap =
+  match
+    Svc.call svc ~svc:registry
+      ~imms:[ Args.of_string "put"; Args.of_string name ]
+      ~caps:[ cap ] ()
+  with
+  | Error _ as e -> e
+  | Ok d -> if Svc.status d = 0 then Ok () else Error Error.Invalid_cap
+
+let lookup svc ~registry ~name =
+  match
+    Svc.call svc ~svc:registry
+      ~imms:[ Args.of_string "get"; Args.of_string name ]
+      ()
+  with
+  | Error _ as e -> e
+  | Ok d -> (
+    if Svc.status d <> 0 then Error Error.Invalid_cap
+    else
+      match d.State.d_caps with
+      | [ cap ] -> Ok cap
+      | _ -> Error (Error.Bad_argument "registry: malformed reply"))

@@ -1,0 +1,30 @@
+(** Capability registry — the trusted bootstrap/name service.
+
+    The paper's TCB includes "a key/value store to bootstrap capabilities
+    on new Processes" (§4). This is that store, built as an ordinary
+    FractOS service: publishing delegates a capability to the registry,
+    looking up delegates it onward to the caller — both ride the normal
+    Request machinery, so naming needs no extra trusted mechanism beyond
+    the operator handing each Process the registry's base Request. *)
+
+module Core = Fractos_core
+
+type t
+
+val start : Core.Process.t -> t
+(** Run the registry on the given (attached) Process. *)
+
+val base_request : t -> Core.Api.cid
+(** The registry's root Request, to be granted to every Process at
+    deployment (testbed bootstrap). *)
+
+val publish :
+  Svc.t -> registry:Core.Api.cid -> name:string -> Core.Api.cid ->
+  (unit, Core.Error.t) result
+(** Client side: publish a capability under [name]. *)
+
+val lookup :
+  Svc.t -> registry:Core.Api.cid -> name:string ->
+  (Core.Api.cid, Core.Error.t) result
+(** Client side: obtain a (delegated) capability for [name].
+    Returns [Error Invalid_cap] if the name is unknown. *)

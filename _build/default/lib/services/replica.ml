@@ -1,0 +1,79 @@
+module Core = Fractos_core
+open Core
+
+type state = { r_cap : Api.cid; mutable r_live : bool }
+
+type t = {
+  fsvc : Svc.t;
+  replicas : state array;
+  mutable r_active : int;
+}
+
+(* Monitor callbacks arrive on the Process's monitor queue; a pump fiber
+   translates them into replica-liveness updates. Callback ids are
+   replica indices offset by a private base so several fronts can share
+   one Process. *)
+let next_base = ref 0
+
+let create svc ~replicas =
+  match replicas with
+  | [] -> Error (Error.Bad_argument "Replica.create: no replicas")
+  | _ ->
+    let base = !next_base in
+    next_base := base + List.length replicas + 1;
+    let arr =
+      Array.of_list (List.map (fun cap -> { r_cap = cap; r_live = true }) replicas)
+    in
+    let t = { fsvc = svc; replicas = arr; r_active = 0 } in
+    let any = ref false in
+    Array.iteri
+      (fun i r ->
+        match Api.monitor_receive (Svc.proc svc) r.r_cap ~cb:(base + i) with
+        | Ok () -> any := true
+        | Error _ -> r.r_live <- false)
+      arr;
+    if not !any then Error Error.Ctrl_unreachable
+    else begin
+      Svc.on_monitor svc (function
+        | State.Receive_cb cb when cb >= base && cb < base + Array.length arr
+          ->
+          arr.(cb - base).r_live <- false;
+          true
+        | State.Receive_cb _ | State.Delegate_cb _ -> false);
+      Ok t
+    end
+
+let pick_active t =
+  let n = Array.length t.replicas in
+  let rec go i tried =
+    if tried = n then None
+    else if t.replicas.(i).r_live then Some i
+    else go ((i + 1) mod n) (tried + 1)
+  in
+  go t.r_active 0
+
+let call t ?(imms = []) ?(caps = []) () =
+  let rec attempt tries =
+    match pick_active t with
+    | None -> Error Error.Ctrl_unreachable
+    | Some i -> (
+      t.r_active <- i;
+      let r = t.replicas.(i) in
+      match
+        Svc.call t.fsvc ~svc:r.r_cap ~imms ~caps
+          ~timeout:(Sim.Time.ms 5) ()
+      with
+      | Ok d -> Ok d
+      | Error _ when tries > 0 ->
+        (* the monitor may not have fired yet (in-flight race): mark this
+           replica suspect and fail over *)
+        r.r_live <- false;
+        attempt (tries - 1)
+      | Error _ as e -> e)
+  in
+  attempt (Array.length t.replicas)
+
+let active t = t.r_active
+
+let live t =
+  Array.fold_left (fun n r -> if r.r_live then n + 1 else n) 0 t.replicas

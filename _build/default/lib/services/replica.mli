@@ -1,0 +1,38 @@
+(** Failover fronting for replicated services — the "redundancy service
+    built on top of the FractOS primitives" that §3.5/§3.6 of the paper
+    sketch.
+
+    A {!t} wraps capabilities to N replicas of the same service. It
+    registers [monitor_receive] on every replica's Request, so a replica
+    failure (or administrative revocation — failure translation makes them
+    the same event) is pushed to the client instead of discovered by
+    timeout. Calls go to the active replica; when its capability is
+    reported revoked, the front fails over to the next live one. Calls
+    in flight during a failure are retried on the new active replica (the
+    service must be idempotent, as usual for at-least-once failover). *)
+
+module Core = Fractos_core
+
+type t
+
+val create :
+  Svc.t -> replicas:Core.Api.cid list -> (t, Core.Error.t) result
+(** Wrap replica service Requests (all implementing the same RPC
+    contract). Registers the revocation monitors; fails if that fails for
+    every replica. *)
+
+val call :
+  t ->
+  ?imms:Core.Args.imm list ->
+  ?caps:Core.Api.cid list ->
+  unit ->
+  (Core.State.delivery, Core.Error.t) result
+(** RPC to the active replica, failing over (and retrying once per
+    remaining replica) on failure. [Error Ctrl_unreachable] when no
+    replica is left. *)
+
+val active : t -> int
+(** Index of the current active replica. *)
+
+val live : t -> int
+(** Replicas not yet reported failed. *)

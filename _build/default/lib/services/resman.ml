@@ -1,0 +1,126 @@
+module Core = Fractos_core
+open Core
+
+type resource = {
+  res_base : Api.cid;
+  res_capacity : int;
+  mutable res_leases : (int * Api.cid) list; (* lease id, manager-side cap *)
+}
+
+type t = {
+  rsvc : Svc.t;
+  base : Api.cid;
+  resources : (string, resource) Hashtbl.t;
+  lease_owner : (int, string) Hashtbl.t; (* lease id -> resource name *)
+  mutable next_lease : int;
+  mutable reclaimed : int;
+}
+
+let handle_acquire t svc d =
+  match d.State.d_imms with
+  | [ name ] -> (
+    let name = Args.to_string name in
+    match Hashtbl.find_opt t.resources name with
+    | None -> Svc.reply svc d ~status:1 ()
+    | Some res ->
+      if List.length res.res_leases >= res.res_capacity then
+        Svc.reply svc d ~status:2 () (* busy *)
+      else (
+        match Api.cap_create_revtree (Svc.proc svc) res.res_base with
+        | Error _ -> Svc.reply svc d ~status:3 ()
+        | Ok lease_cap -> (
+          t.next_lease <- t.next_lease + 1;
+          let id = t.next_lease in
+          match Api.monitor_delegate (Svc.proc svc) lease_cap ~cb:id with
+          | Error _ -> Svc.reply svc d ~status:3 ()
+          | Ok () ->
+            res.res_leases <- (id, lease_cap) :: res.res_leases;
+            Hashtbl.replace t.lease_owner id name;
+            Svc.reply svc d ~status:0 ~imms:[ Args.of_int id ]
+              ~caps:[ lease_cap ] ())))
+  | _ -> Svc.reply svc d ~status:4 ()
+
+(* Reclaim a lease: drop the accounting and revoke the manager-side
+   subtree so nothing derived from the lease survives. *)
+let reclaim t id =
+  match Hashtbl.find_opt t.lease_owner id with
+  | None -> false
+  | Some name -> (
+    Hashtbl.remove t.lease_owner id;
+    match Hashtbl.find_opt t.resources name with
+    | None -> false
+    | Some res -> (
+      match List.assoc_opt id res.res_leases with
+      | None -> false
+      | Some cap ->
+        res.res_leases <- List.remove_assoc id res.res_leases;
+        t.reclaimed <- t.reclaimed + 1;
+        (* best effort: the object may already be invalid if the client's
+           revocation raced us *)
+        (match Api.cap_revoke (Svc.proc t.rsvc) cap with
+        | Ok () | Error _ -> ());
+        true))
+
+let handle_monitor t = function
+  | State.Delegate_cb id -> Hashtbl.mem t.lease_owner id && reclaim t id
+  | State.Receive_cb _ -> false
+
+let start proc ~resources =
+  let rsvc = Svc.create proc in
+  let base = Error.ok_exn (Api.request_create proc ~tag:"rm" ()) in
+  let t =
+    {
+      rsvc;
+      base;
+      resources = Hashtbl.create 8;
+      lease_owner = Hashtbl.create 16;
+      next_lease = 0;
+      reclaimed = 0;
+    }
+  in
+  List.iter
+    (fun (name, cap, capacity) ->
+      Hashtbl.replace t.resources name
+        { res_base = cap; res_capacity = capacity; res_leases = [] })
+    resources;
+  Svc.handle rsvc ~tag:"rm" (fun svc d ->
+      match d.State.d_imms with
+      | op :: rest when Args.to_string op = "acquire" ->
+        handle_acquire t svc { d with State.d_imms = rest }
+      | _ -> Svc.reply svc d ~status:4 ());
+  Svc.on_monitor rsvc (handle_monitor t);
+  t
+
+let base_request t = t.base
+
+let leases t ~name =
+  match Hashtbl.find_opt t.resources name with
+  | Some res -> List.length res.res_leases
+  | None -> 0
+
+let reclaimed t = t.reclaimed
+
+let revoke_lease t ~name ~lease_id =
+  match Hashtbl.find_opt t.resources name with
+  | None -> false
+  | Some res -> (
+    match List.assoc_opt lease_id res.res_leases with
+    | None -> false
+    | Some _ -> reclaim t lease_id)
+
+let acquire svc ~rm ~name =
+  match
+    Svc.call svc ~svc:rm
+      ~imms:[ Args.of_string "acquire"; Args.of_string name ]
+      ()
+  with
+  | Error _ as e -> e
+  | Ok d -> (
+    if Svc.status d <> 0 then
+      Error (Error.Bad_argument "resource acquisition failed")
+    else
+      match (Svc.payload_imms d, d.State.d_caps) with
+      | [ id ], [ cap ] -> Ok (Args.to_int id, cap)
+      | _ -> Error (Error.Bad_argument "rm: malformed reply"))
+
+let release svc cap = Api.cap_revoke (Svc.proc svc) cap

@@ -1,0 +1,52 @@
+(** Resource-management service — the allocation layer the paper defers
+    (§4 "we do not implement a resource allocation and scheduling layer
+    ... can be easily integrated") built exactly the way §3.6 prescribes:
+
+    - the manager holds the base capability for each named resource
+      (a GPU adaptor's alloc Request, a volume-management Request, ...);
+    - a client {e lease} is a fresh revocation-tree child of the base,
+      watched with [monitor_delegate], then delegated in the RPC reply;
+    - when the client revokes its lease capability — or dies, which
+      failure translation turns into the same revocation — the manager's
+      monitor callback fires and the lease is reclaimed (its subtree
+      revoked, accounting updated);
+    - the operator can also revoke a lease administratively; the client
+      learns through [monitor_receive] if it cares.
+
+    Leases are capped per resource ([capacity]); acquire fails with a
+    busy status once exhausted, and capacity returns as monitors fire. *)
+
+module Core = Fractos_core
+
+type t
+
+val start :
+  Core.Process.t ->
+  resources:(string * Core.Api.cid * int) list ->
+  t
+(** [(name, base_capability, capacity)] per managed resource. *)
+
+val base_request : t -> Core.Api.cid
+(** The manager's RPC Request, for bootstrap/registry. *)
+
+val leases : t -> name:string -> int
+(** Currently outstanding leases of a resource. *)
+
+val reclaimed : t -> int
+(** Total leases reclaimed so far (explicit release + client death). *)
+
+val revoke_lease : t -> name:string -> lease_id:int -> bool
+(** Operator-side administrative revocation. *)
+
+(** {1 Client side} *)
+
+val acquire :
+  Svc.t -> rm:Core.Api.cid -> name:string ->
+  (int * Core.Api.cid, Core.Error.t) result
+(** Lease a resource: returns (lease id, capability to the resource).
+    The capability behaves exactly like the base (it is a revocation-tree
+    child), so it can be refined and invoked as usual. *)
+
+val release : Svc.t -> Core.Api.cid -> (unit, Core.Error.t) result
+(** Give a lease back: revoke the leased capability; the manager notices
+    via its delegation monitor. *)

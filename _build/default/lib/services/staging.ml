@@ -1,0 +1,36 @@
+module Core = Fractos_core
+open Core
+
+type slot = { buf : Membuf.t; mem : Api.cid }
+type t = { proc : Process.t; pools : (int, slot list ref) Hashtbl.t }
+
+let create proc = { proc; pools = Hashtbl.create 8 }
+
+let pool t size =
+  match Hashtbl.find_opt t.pools size with
+  | Some p -> p
+  | None ->
+    let p = ref [] in
+    Hashtbl.replace t.pools size p;
+    p
+
+let take t size =
+  let p = pool t size in
+  match !p with
+  | slot :: rest ->
+    p := rest;
+    Ok slot
+  | [] -> (
+    let buf = Process.alloc t.proc size in
+    match Api.memory_create t.proc buf Perms.rw with
+    | Error _ as e -> e
+    | Ok mem -> Ok { buf; mem })
+
+let put t slot =
+  let p = pool t (Membuf.size slot.buf) in
+  p := slot :: !p
+
+let with_slot t size f =
+  match take t size with
+  | Error _ as e -> e
+  | Ok slot -> Fun.protect ~finally:(fun () -> put t slot) (fun () -> f slot)

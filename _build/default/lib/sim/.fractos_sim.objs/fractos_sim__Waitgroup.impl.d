@@ -1,0 +1,1 @@
+lib/sim/waitgroup.ml: Engine Fun List

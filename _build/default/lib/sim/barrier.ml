@@ -1,0 +1,26 @@
+type t = {
+  parties : int;
+  mutable arrived : unit Engine.resumer list;
+  mutable generation : int;
+}
+
+let create n =
+  if n < 1 then invalid_arg "Barrier.create: parties < 1";
+  { parties = n; arrived = []; generation = 0 }
+
+let await t =
+  let gen = t.generation in
+  if List.length t.arrived = t.parties - 1 then begin
+    let ws = t.arrived in
+    t.arrived <- [];
+    t.generation <- gen + 1;
+    List.iter (fun (w : unit Engine.resumer) -> w.resume ()) (List.rev ws);
+    gen
+  end
+  else begin
+    Engine.suspend (fun r -> t.arrived <- r :: t.arrived);
+    gen
+  end
+
+let parties t = t.parties
+let waiting t = List.length t.arrived

@@ -1,0 +1,16 @@
+(** Cyclic barriers for lock-step fiber phases.
+
+    [n] fibers call {!await}; all block until the [n]-th arrives, then all
+    proceed and the barrier resets for the next round. *)
+
+type t
+
+val create : int -> t
+(** A barrier for [n >= 1] parties. *)
+
+val await : t -> int
+(** Block until all parties have arrived; returns the generation number
+    (0-based round counter) that just completed. *)
+
+val parties : t -> int
+val waiting : t -> int

@@ -1,0 +1,20 @@
+type 'a t = {
+  items : 'a Queue.t;
+  readers : 'a Engine.resumer Queue.t;
+}
+
+let create () = { items = Queue.create (); readers = Queue.create () }
+
+let send ch v =
+  match Queue.take_opt ch.readers with
+  | Some r -> r.resume v
+  | None -> Queue.add v ch.items
+
+let recv ch =
+  match Queue.take_opt ch.items with
+  | Some v -> v
+  | None -> Engine.suspend (fun r -> Queue.add r ch.readers)
+
+let try_recv ch = Queue.take_opt ch.items
+let length ch = Queue.length ch.items
+let waiters ch = Queue.length ch.readers

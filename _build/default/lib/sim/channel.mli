@@ -1,0 +1,28 @@
+(** Unbounded FIFO message channels (mailboxes).
+
+    Channels model the request/response queues that connect FractOS
+    Processes to their Controllers: senders never block, receivers block
+    until a message is available. Delivery order is FIFO and, combined with
+    the engine's deterministic scheduling, reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh, empty channel. *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message. Never blocks. If receivers are waiting, the
+    longest-waiting one is resumed with the message. *)
+
+val recv : 'a t -> 'a
+(** Dequeue the next message, blocking the calling fiber until one
+    arrives. *)
+
+val try_recv : 'a t -> 'a option
+(** Dequeue the next message if one is immediately available. *)
+
+val length : 'a t -> int
+(** Number of queued (undelivered) messages. *)
+
+val waiters : 'a t -> int
+(** Number of fibers currently blocked in {!recv} (diagnostic). *)

@@ -1,0 +1,123 @@
+exception Deadlock of string
+
+type t = {
+  heap : (unit -> unit) Heap.t;
+  mutable now : int;
+  mutable seq : int;
+  mutable fibers : int;
+  mutable failure : exn option;
+  mutable main_done : bool;
+}
+
+let current : t option ref = ref None
+
+let get () =
+  match !current with
+  | Some t -> t
+  | None -> failwith "Fractos_sim.Engine: no engine is running"
+
+let schedule_at t ~time f =
+  let time = if time < t.now then t.now else time in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time ~seq:t.seq f
+
+type 'a resumer = { resume : 'a -> unit; abort : exn -> unit }
+
+type _ Effect.t +=
+  | Sleep : int -> unit Effect.t
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+(* Each fiber runs under this deep handler. Continuations are one-shot;
+   resumers guard against double resumption with a [used] flag. *)
+let exec t f =
+  let open Effect.Deep in
+  t.fibers <- t.fibers + 1;
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          if t.failure = None then t.failure <- Some e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let d = if d < 0 then 0 else d in
+                schedule_at t ~time:(t.now + d) (fun () -> continue k ()))
+          | Suspend setup ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let used = ref false in
+                let resume v =
+                  if not !used then begin
+                    used := true;
+                    schedule_at t ~time:t.now (fun () -> continue k v)
+                  end
+                and abort e =
+                  if not !used then begin
+                    used := true;
+                    schedule_at t ~time:t.now (fun () -> discontinue k e)
+                  end
+                in
+                setup { resume; abort })
+          | _ -> None);
+    }
+
+let run ?(name = "main") main =
+  if !current <> None then failwith "Fractos_sim.Engine: engines do not nest";
+  let t =
+    { heap = Heap.create (); now = 0; seq = 0; fibers = 0; failure = None;
+      main_done = false }
+  in
+  current := Some t;
+  let result = ref None in
+  let finally () = current := None in
+  Fun.protect ~finally (fun () ->
+      schedule_at t ~time:0 (fun () ->
+          exec t (fun () ->
+              let v = main () in
+              result := Some v;
+              t.main_done <- true));
+      let rec loop () =
+        match t.failure with
+        | Some e -> raise e
+        | None -> (
+          match Heap.pop t.heap with
+          | None -> ()
+          | Some (time, _seq, run_event) ->
+            t.now <- time;
+            run_event ();
+            loop ())
+      in
+      loop ();
+      match !result with
+      | Some v -> v
+      | None ->
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "engine quiesced at t=%s but fiber %S never finished"
+                (Time.to_string t.now) name)))
+
+let now () = (get ()).now
+let sleep d = Effect.perform (Sleep d)
+
+let sleep_until time =
+  let t = now () in
+  if time > t then sleep (time - t)
+
+let spawn ?name f =
+  ignore name;
+  let t = get () in
+  schedule_at t ~time:t.now (fun () -> exec t f)
+let yield () = sleep 0
+let suspend setup = Effect.perform (Suspend setup)
+
+let schedule d f =
+  let t = get () in
+  let d = if d < 0 then 0 else d in
+  schedule_at t ~time:(t.now + d) f
+
+let fiber_count () = (get ()).fibers

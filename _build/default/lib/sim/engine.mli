@@ -1,0 +1,68 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine runs a set of cooperative {e fibers} over a virtual clock.
+    Fibers are ordinary OCaml functions written in direct style; blocking
+    operations ([sleep], {!Ivar.await}, {!Channel.recv}, ...) are implemented
+    with OCaml 5 effect handlers, so there is no callback inversion anywhere
+    in user code. Time only advances when every runnable fiber has yielded:
+    the engine pops the earliest pending event, sets the clock to its
+    timestamp and resumes the fiber that was waiting on it.
+
+    Determinism: events scheduled for the same instant run in scheduling
+    order (FIFO), so a run is a pure function of the program and its PRNG
+    seeds.
+
+    All functions below except {!run} must be called from inside a fiber of a
+    running engine; calling them outside one raises [Failure]. *)
+
+exception Deadlock of string
+(** Raised by {!run} when the event queue drains while the main fiber is
+    still blocked — i.e. nothing can ever wake it up. *)
+
+val run : ?name:string -> (unit -> 'a) -> 'a
+(** [run main] executes [main] as the root fiber of a fresh engine and
+    returns its result once the simulation quiesces. The simulation ends
+    when the event queue is empty; background fibers still blocked on
+    channels at that point are simply abandoned (they model server loops).
+    If the root fiber itself can no longer make progress, raises
+    {!Deadlock}. Any exception escaping a fiber aborts the whole run and is
+    re-raised here. Engines do not nest. *)
+
+val now : unit -> Time.t
+(** Current simulated time. *)
+
+val sleep : Time.t -> unit
+(** [sleep d] suspends the calling fiber for [d] nanoseconds ([d < 0] is
+    treated as [0]). *)
+
+val sleep_until : Time.t -> unit
+(** [sleep_until t] suspends until the clock reaches [t]; returns immediately
+    if [t] is in the past. *)
+
+val spawn : ?name:string -> (unit -> unit) -> unit
+(** [spawn f] starts [f] as a new fiber, to begin at the current instant
+    (after the current fiber yields). An exception escaping [f] aborts the
+    whole simulation. *)
+
+val yield : unit -> unit
+(** Re-enqueue the calling fiber at the current instant, letting other
+    runnable fibers scheduled for this instant proceed first. *)
+
+type 'a resumer = { resume : 'a -> unit; abort : exn -> unit }
+(** One-shot handle used to wake a suspended fiber. Calling either function
+    a second time is a no-op. Both are safe to call from any other fiber or
+    scheduled event. *)
+
+val suspend : ('a resumer -> unit) -> 'a
+(** [suspend f] blocks the calling fiber and hands [f] a {!resumer} for it.
+    The fiber resumes — at the instant [resume]/[abort] is invoked — with
+    the provided value, or raises the provided exception. This is the
+    primitive from which ivars, channels and timers are built. *)
+
+val schedule : Time.t -> (unit -> unit) -> unit
+(** [schedule d f] arranges for [f] to run as a raw event [d] nanoseconds
+    from now. [f] must not block; to run blocking code later, use
+    [schedule d (fun () -> spawn g)]. *)
+
+val fiber_count : unit -> int
+(** Number of fibers spawned so far in this run (diagnostic). *)

@@ -1,0 +1,67 @@
+type 'a state =
+  | Empty of 'a Engine.resumer list
+  | Full of 'a
+  | Broken of exn
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let fill iv v =
+  match iv.state with
+  | Empty waiters ->
+    iv.state <- Full v;
+    List.iter (fun (w : _ Engine.resumer) -> w.resume v) (List.rev waiters)
+  | Full _ | Broken _ -> invalid_arg "Ivar.fill: already filled"
+
+let fill_exn iv e =
+  match iv.state with
+  | Empty waiters ->
+    iv.state <- Broken e;
+    List.iter (fun (w : _ Engine.resumer) -> w.abort e) (List.rev waiters)
+  | Full _ | Broken _ -> invalid_arg "Ivar.fill_exn: already filled"
+
+let try_fill iv v =
+  match iv.state with
+  | Empty _ ->
+    fill iv v;
+    true
+  | Full _ | Broken _ -> false
+
+let await iv =
+  match iv.state with
+  | Full v -> v
+  | Broken e -> raise e
+  | Empty _ ->
+    Engine.suspend (fun r ->
+        match iv.state with
+        | Empty waiters -> iv.state <- Empty (r :: waiters)
+        | Full v -> r.resume v
+        | Broken e -> r.abort e)
+
+let await_timeout iv ~timeout =
+  match iv.state with
+  | Full v -> Some v
+  | Broken e -> raise e
+  | Empty _ ->
+    Engine.suspend (fun r ->
+        (* the fill path and the timer race; the engine's one-shot resumer
+           guard makes whichever fires second a no-op *)
+        let adapter : 'a Engine.resumer =
+          { resume = (fun v -> r.resume (Some v)); abort = r.abort }
+        in
+        (match iv.state with
+        | Empty waiters -> iv.state <- Empty (adapter :: waiters)
+        | Full v -> r.resume (Some v)
+        | Broken e -> r.abort e);
+        Engine.schedule timeout (fun () -> r.resume None))
+
+let peek iv =
+  match iv.state with
+  | Full v -> Some v
+  | Empty _ | Broken _ -> None
+
+let is_filled iv =
+  match iv.state with
+  | Full _ | Broken _ -> true
+  | Empty _ -> false

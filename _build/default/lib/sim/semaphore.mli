@@ -1,0 +1,29 @@
+(** Counting semaphores with FIFO wakeup.
+
+    Used for admission control: limiting in-flight requests per client and
+    implementing the Controller's congestion-control window (bounding
+    outstanding FractOS responses per Process, as in §4 of the paper). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a semaphore with [n] initial permits ([n >= 0]). *)
+
+val acquire : t -> unit
+(** Take one permit, blocking in FIFO order until one is available. *)
+
+val try_acquire : t -> bool
+(** Take one permit if immediately available. *)
+
+val release : t -> unit
+(** Return one permit, waking the longest-waiting fiber if any. *)
+
+val with_permit : t -> (unit -> 'a) -> 'a
+(** [with_permit s f] runs [f] holding one permit, releasing it on return
+    or exception. *)
+
+val available : t -> int
+(** Current number of free permits. *)
+
+val waiting : t -> int
+(** Number of fibers blocked in {!acquire}. *)

@@ -1,0 +1,40 @@
+(** Simulated time.
+
+    All simulated time in FractOS is an integer number of nanoseconds held in
+    a native [int]. A 63-bit signed integer covers roughly 146 years of
+    nanoseconds, far beyond any experiment horizon, and avoids the rounding
+    and comparison pitfalls of floating-point clocks. *)
+
+type t = int
+(** A point in (or duration of) simulated time, in nanoseconds. *)
+
+val ns : int -> t
+(** [ns x] is [x] nanoseconds. *)
+
+val us : int -> t
+(** [us x] is [x] microseconds. *)
+
+val ms : int -> t
+(** [ms x] is [x] milliseconds. *)
+
+val s : int -> t
+(** [s x] is [x] seconds. *)
+
+val of_us_f : float -> t
+(** [of_us_f x] converts a fractional microsecond count, rounding to the
+    nearest nanosecond. *)
+
+val to_us_f : t -> float
+(** [to_us_f t] is [t] expressed in (fractional) microseconds. *)
+
+val to_ms_f : t -> float
+(** [to_ms_f t] is [t] expressed in (fractional) milliseconds. *)
+
+val to_s_f : t -> float
+(** [to_s_f t] is [t] expressed in (fractional) seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print a time with an adaptive unit (ns, us, ms or s). *)
+
+val to_string : t -> string
+(** [to_string t] is [Fmt.str "%a" pp t]. *)

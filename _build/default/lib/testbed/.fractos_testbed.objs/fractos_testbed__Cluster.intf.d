@@ -1,0 +1,1 @@
+lib/testbed/cluster.mli: Fractos_core Fractos_device Fractos_net Fractos_services Fractos_sim Testbed

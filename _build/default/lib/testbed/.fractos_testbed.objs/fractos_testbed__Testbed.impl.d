@@ -1,0 +1,1 @@
+lib/testbed/testbed.ml: Fractos_core Fractos_net Fractos_sim Hashtbl List

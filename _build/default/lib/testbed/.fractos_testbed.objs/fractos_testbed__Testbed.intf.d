@@ -1,0 +1,1 @@
+lib/testbed/testbed.mli: Fractos_core Fractos_net Fractos_sim

@@ -1,0 +1,1 @@
+lib/workloads/facedata.ml: Bytes Char Fractos_sim

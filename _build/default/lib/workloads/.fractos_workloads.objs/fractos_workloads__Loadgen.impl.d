@@ -1,0 +1,1 @@
+lib/workloads/loadgen.ml: Array Float Format Fractos_sim List

@@ -1,0 +1,1 @@
+lib/workloads/loadgen.mli: Format Fractos_sim

@@ -1,0 +1,36 @@
+module Sim = Fractos_sim
+
+let image ~img_size ~id =
+  let g = Sim.Prng.create ~seed:(0x6ace + id) in
+  let b = Bytes.create img_size in
+  Sim.Prng.fill_bytes g b;
+  b
+
+let db ~img_size ~n =
+  let out = Bytes.create (img_size * n) in
+  for i = 0 to n - 1 do
+    Bytes.blit (image ~img_size ~id:i) 0 out (i * img_size) img_size
+  done;
+  out
+
+let probe ~img_size ~id ~genuine =
+  let b = image ~img_size ~id in
+  if not genuine then
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  b
+
+let is_impostor ~impostor_every i =
+  impostor_every > 0 && i mod impostor_every = impostor_every - 1
+
+let probe_batch ~img_size ~start_id ~batch ~impostor_every =
+  let out = Bytes.create (img_size * batch) in
+  for i = 0 to batch - 1 do
+    let genuine = not (is_impostor ~impostor_every i) in
+    let p = probe ~img_size ~id:(start_id + i) ~genuine in
+    Bytes.blit p 0 out (i * img_size) img_size
+  done;
+  out
+
+let expected_matches ~batch ~impostor_every =
+  Bytes.init batch (fun i ->
+      if is_impostor ~impostor_every i then '\000' else '\001')

@@ -1,0 +1,64 @@
+module Sim = Fractos_sim
+
+type summary = {
+  n : int;
+  mean : Sim.Time.t;
+  p50 : Sim.Time.t;
+  p95 : Sim.Time.t;
+  p99 : Sim.Time.t;
+  max : Sim.Time.t;
+  elapsed : Sim.Time.t;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+  sorted.(max 0 (min (n - 1) idx))
+
+let summarize latencies elapsed =
+  if latencies = [] then invalid_arg "Loadgen.summarize: no samples";
+  let sorted = Array.of_list (List.sort compare latencies) in
+  let n = Array.length sorted in
+  let total = Array.fold_left ( + ) 0 sorted in
+  {
+    n;
+    mean = total / n;
+    p50 = percentile sorted 0.50;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+    max = sorted.(n - 1);
+    elapsed;
+  }
+
+let run_open_loop ~rng ~rate_per_s ~n request =
+  let mean_gap_ns = 1e9 /. rate_per_s in
+  let latencies = ref [] in
+  let completed = ref 0 in
+  let done_ = Sim.Ivar.create () in
+  let t0 = Sim.Engine.now () in
+  let rec arrivals i =
+    if i < n then begin
+      Sim.Engine.spawn (fun () ->
+          let start = Sim.Engine.now () in
+          request i;
+          latencies := (Sim.Engine.now () - start) :: !latencies;
+          incr completed;
+          if !completed = n then Sim.Ivar.fill done_ ());
+      let gap =
+        int_of_float (Sim.Prng.exponential rng ~mean:mean_gap_ns)
+      in
+      Sim.Engine.sleep (max 1 gap);
+      arrivals (i + 1)
+    end
+  in
+  arrivals 0;
+  Sim.Ivar.await done_;
+  summarize !latencies (Sim.Engine.now () - t0)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%s p50=%s p95=%s p99=%s max=%s elapsed=%s" s.n
+    (Sim.Time.to_string s.mean) (Sim.Time.to_string s.p50)
+    (Sim.Time.to_string s.p95) (Sim.Time.to_string s.p99)
+    (Sim.Time.to_string s.max)
+    (Sim.Time.to_string s.elapsed)

@@ -1,0 +1,1 @@
+test/core/test_codec.ml: Alcotest Args Buffer Bytes Codec Fractos_core List Perms QCheck QCheck_alcotest State String Wire

@@ -1,0 +1,1 @@
+test/core/test_security.ml: Alcotest Api Array Engine Error Format Fractos_core Fractos_sim Fractos_testbed List Printf QCheck QCheck_alcotest Sim State String Time

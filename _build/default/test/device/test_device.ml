@@ -1,0 +1,237 @@
+(* Tests for the GPU and NVMe device models. *)
+
+open Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+module Gpu = Fractos_device.Gpu
+module Nvme = Fractos_device.Nvme
+
+let cfg = Net.Config.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_node f =
+  Engine.run (fun () ->
+      let fab = Net.Fabric.create () in
+      let node = Net.Fabric.add_node fab ~name:"dev" Net.Node.Wimpy_cpu in
+      f node)
+
+(* ------------------------------------------------------------------ *)
+(* GPU                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let add_one_kernel =
+  {
+    Gpu.k_name = "add-one";
+    k_cost = (fun ~items -> Time.us items);
+    k_run =
+      (fun ~bufs ~imms ->
+        ignore imms;
+        match bufs with
+        | [ buf ] ->
+          let data = buf.Core.Membuf.data in
+          for i = 0 to Bytes.length data - 1 do
+            Bytes.set data i (Char.chr ((Char.code (Bytes.get data i) + 1) land 0xff))
+          done
+        | _ -> failwith "add-one expects one buffer");
+  }
+
+let test_gpu_alloc_free () =
+  with_node (fun node ->
+      let gpu = Gpu.create ~node ~config:cfg ~mem_bytes:1024 in
+      let b1 = Result.get_ok (Gpu.alloc gpu 512) in
+      check_int "free after alloc" 512 (Gpu.mem_free_bytes gpu);
+      (match Gpu.alloc gpu 1024 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "overcommitted GPU memory");
+      Gpu.free gpu b1;
+      check_int "free after free" 1024 (Gpu.mem_free_bytes gpu))
+
+let test_gpu_kernel_runs () =
+  with_node (fun node ->
+      let gpu = Gpu.create ~node ~config:cfg ~mem_bytes:1024 in
+      Gpu.load_kernel gpu add_one_kernel;
+      let buf = Result.get_ok (Gpu.alloc gpu 4) in
+      Core.Membuf.write buf ~off:0 (Bytes.of_string "abc\000");
+      (match Gpu.launch gpu ~name:"add-one" ~items:4 ~bufs:[ buf ] ~imms:[] with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check string)
+        "kernel transformed data" "bcd\001"
+        (Bytes.to_string (Core.Membuf.read buf ~off:0 ~len:4)))
+
+let test_gpu_unknown_kernel () =
+  with_node (fun node ->
+      let gpu = Gpu.create ~node ~config:cfg ~mem_bytes:16 in
+      match Gpu.launch gpu ~name:"nope" ~items:1 ~bufs:[] ~imms:[] with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "launched unknown kernel")
+
+let test_gpu_launch_cost () =
+  with_node (fun node ->
+      let gpu = Gpu.create ~node ~config:cfg ~mem_bytes:16 in
+      Gpu.load_kernel gpu add_one_kernel;
+      let buf = Result.get_ok (Gpu.alloc gpu 1) in
+      let t0 = Engine.now () in
+      ignore (Gpu.launch gpu ~name:"add-one" ~items:100 ~bufs:[ buf ] ~imms:[]);
+      let elapsed = Engine.now () - t0 in
+      check_int "launch + 100 items"
+        (cfg.Net.Config.gpu_launch + Time.us 100)
+        elapsed)
+
+let test_gpu_serial_execution_engine () =
+  (* Two concurrent launches serialize: the GPU is the bottleneck. *)
+  with_node (fun node ->
+      let gpu = Gpu.create ~node ~config:cfg ~mem_bytes:16 in
+      Gpu.load_kernel gpu add_one_kernel;
+      let buf = Result.get_ok (Gpu.alloc gpu 1) in
+      let t0 = Engine.now () in
+      let finishes = ref [] in
+      for _ = 1 to 2 do
+        Engine.spawn (fun () ->
+            ignore
+              (Gpu.launch gpu ~name:"add-one" ~items:100 ~bufs:[ buf ] ~imms:[]);
+            finishes := (Engine.now () - t0) :: !finishes)
+      done;
+      Engine.sleep (Time.ms 10);
+      let per = cfg.Net.Config.gpu_launch + Time.us 100 in
+      Alcotest.(check (list int))
+        "serialized" [ per; 2 * per ]
+        (List.rev !finishes))
+
+(* ------------------------------------------------------------------ *)
+(* NVMe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_nvme_volume_rw_roundtrip () =
+  with_node (fun node ->
+      let ssd = Nvme.create ~node ~config:cfg ~capacity:(1 lsl 20) in
+      let vol = Result.get_ok (Nvme.create_volume ssd ~size:65536) in
+      let data = Bytes.init 1000 (fun i -> Char.chr (i land 0xff)) in
+      (match Nvme.write ssd vol ~off:123 data with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      let back = Result.get_ok (Nvme.read ssd vol ~off:123 ~len:1000) in
+      check_bool "roundtrip" true (Bytes.equal data back))
+
+let test_nvme_volumes_isolated () =
+  with_node (fun node ->
+      let ssd = Nvme.create ~node ~config:cfg ~capacity:(1 lsl 20) in
+      let v1 = Result.get_ok (Nvme.create_volume ssd ~size:8192) in
+      let v2 = Result.get_ok (Nvme.create_volume ssd ~size:8192) in
+      ignore (Nvme.write ssd v1 ~off:0 (Bytes.make 100 'A'));
+      ignore (Nvme.write ssd v2 ~off:0 (Bytes.make 100 'B'));
+      let r1 = Result.get_ok (Nvme.read ssd v1 ~off:0 ~len:100) in
+      let r2 = Result.get_ok (Nvme.read ssd v2 ~off:0 ~len:100) in
+      check_bool "v1 intact" true (Bytes.equal r1 (Bytes.make 100 'A'));
+      check_bool "v2 intact" true (Bytes.equal r2 (Bytes.make 100 'B')))
+
+let test_nvme_bounds () =
+  with_node (fun node ->
+      let ssd = Nvme.create ~node ~config:cfg ~capacity:(1 lsl 20) in
+      let vol = Result.get_ok (Nvme.create_volume ssd ~size:4096) in
+      (match Nvme.read ssd vol ~off:4000 ~len:200 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "read past volume end");
+      match Nvme.write ssd vol ~off:(-1) (Bytes.make 1 'x') with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "negative offset accepted")
+
+let test_nvme_capacity () =
+  with_node (fun node ->
+      let ssd = Nvme.create ~node ~config:cfg ~capacity:8192 in
+      let _ = Result.get_ok (Nvme.create_volume ssd ~size:8000) in
+      match Nvme.create_volume ssd ~size:8000 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "overcommitted device")
+
+let test_nvme_read_latency_floor () =
+  with_node (fun node ->
+      let ssd = Nvme.create ~node ~config:cfg ~capacity:(1 lsl 20) in
+      let vol = Result.get_ok (Nvme.create_volume ssd ~size:65536) in
+      let t0 = Engine.now () in
+      ignore (Nvme.read ssd vol ~off:0 ~len:4096);
+      let elapsed = Engine.now () - t0 in
+      (* 70 us floor + transfer *)
+      check_bool "~70us 4KiB read" true
+        (elapsed >= Time.us 70 && elapsed < Time.us 75))
+
+let test_nvme_write_cache_fast () =
+  with_node (fun node ->
+      let ssd = Nvme.create ~node ~config:cfg ~capacity:(1 lsl 20) in
+      let vol = Result.get_ok (Nvme.create_volume ssd ~size:65536) in
+      let t0 = Engine.now () in
+      ignore (Nvme.write ssd vol ~off:0 (Bytes.make 4096 'x'));
+      let elapsed = Engine.now () - t0 in
+      check_bool "cached write below read floor" true
+        (elapsed < cfg.Net.Config.nvme_read_latency))
+
+let test_nvme_queue_depth_parallelism () =
+  with_node (fun node ->
+      let ssd = Nvme.create ~node ~config:cfg ~capacity:(1 lsl 24) in
+      let vol = Result.get_ok (Nvme.create_volume ssd ~size:(1 lsl 23)) in
+      let qd = cfg.Net.Config.nvme_queue_depth in
+      let n = 2 * qd in
+      let done_at = ref [] in
+      for _ = 1 to n do
+        Engine.spawn (fun () ->
+            ignore (Nvme.read ssd vol ~off:0 ~len:4096);
+            done_at := Engine.now () :: !done_at)
+      done;
+      Engine.sleep (Time.ms 100);
+      let sorted = List.sort compare !done_at in
+      let first_wave = List.filteri (fun i _ -> i < qd) sorted in
+      let second_wave = List.filteri (fun i _ -> i >= qd) sorted in
+      let max_first = List.fold_left max 0 first_wave in
+      let min_second = List.fold_left min max_int second_wave in
+      check_bool "waves separated by device latency" true
+        (min_second >= max_first + cfg.Net.Config.nvme_read_latency / 2))
+
+(* Property: NVMe roundtrips preserve arbitrary data at arbitrary offsets
+   (crossing internal block boundaries). *)
+let prop_nvme_roundtrip =
+  QCheck.Test.make ~name:"nvme rw roundtrip across blocks" ~count:30
+    QCheck.(pair (int_range 0 10_000) (int_range 1 10_000))
+    (fun (off, len) ->
+      with_node (fun node ->
+          let ssd = Nvme.create ~node ~config:cfg ~capacity:(1 lsl 20) in
+          let vol = Result.get_ok (Nvme.create_volume ssd ~size:65536) in
+          if off + len > 65536 then true
+          else begin
+            let g = Prng.create ~seed:(off + len) in
+            let data = Bytes.create len in
+            Prng.fill_bytes g data;
+            ignore (Nvme.write ssd vol ~off data);
+            let back = Result.get_ok (Nvme.read ssd vol ~off ~len) in
+            Bytes.equal data back
+          end))
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "fractos_device"
+    [
+      ( "gpu",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_gpu_alloc_free;
+          Alcotest.test_case "kernel runs" `Quick test_gpu_kernel_runs;
+          Alcotest.test_case "unknown kernel" `Quick test_gpu_unknown_kernel;
+          Alcotest.test_case "launch cost" `Quick test_gpu_launch_cost;
+          Alcotest.test_case "serial engine" `Quick
+            test_gpu_serial_execution_engine;
+        ] );
+      ( "nvme",
+        [
+          Alcotest.test_case "rw roundtrip" `Quick test_nvme_volume_rw_roundtrip;
+          Alcotest.test_case "volumes isolated" `Quick test_nvme_volumes_isolated;
+          Alcotest.test_case "bounds" `Quick test_nvme_bounds;
+          Alcotest.test_case "capacity" `Quick test_nvme_capacity;
+          Alcotest.test_case "read latency floor" `Quick
+            test_nvme_read_latency_floor;
+          Alcotest.test_case "write cache fast" `Quick
+            test_nvme_write_cache_fast;
+          Alcotest.test_case "queue depth" `Quick
+            test_nvme_queue_depth_parallelism;
+          qtest prop_nvme_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+test/services/test_fs_model.mli:

@@ -1,0 +1,1 @@
+test/services/test_placements.mli:

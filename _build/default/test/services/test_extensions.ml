@@ -1,0 +1,756 @@
+(* Tests for the extension layers: the Flow dataflow DSL and the
+   resource-management service. *)
+
+open Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+module Dev = Fractos_device
+module Tb = Fractos_testbed.Testbed
+module Cluster = Fractos_testbed.Cluster
+module Facedata = Fractos_workloads.Facedata
+open Fractos_services
+open Core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ok_exn = Error.ok_exn
+
+(* ------------------------------------------------------------------ *)
+(* Flow                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* SSD -> GPU -> done, the Fig. 3 chain, expressed as a Flow pipeline. *)
+let test_flow_ssd_to_gpu () =
+  Tb.run (fun tb ->
+      let c = Cluster.make ~extent_size:65536 tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let img_size = 256 and batch = 4 in
+      let data = Facedata.db ~img_size ~n:batch in
+      (* provision a raw volume with the data *)
+      let vol =
+        ok_exn
+          (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+             ~size:65536)
+      in
+      let wbuf = Process.alloc proc (Bytes.length data) in
+      Membuf.write wbuf ~off:0 data;
+      let src = ok_exn (Api.memory_create proc wbuf Perms.ro) in
+      let seed_write =
+        Flow.blk_write ~req:vol.Blockdev.write_req ~off:0
+          ~len:(Bytes.length data) ~src
+      in
+      ok_exn (Flow.run app seed_write);
+      (* GPU buffers *)
+      let alloc size =
+        ok_exn (Gpu_adaptor.alloc app ~alloc_req:c.Cluster.gpu_alloc_cap ~size)
+      in
+      let probe = alloc (batch * img_size) in
+      let db = alloc (batch * img_size) in
+      let out = alloc batch in
+      ok_exn (Api.memory_copy proc ~src ~dst:probe.Gpu_adaptor.mem);
+      let invoke_req =
+        ok_exn
+          (Gpu_adaptor.load app ~load_req:c.Cluster.gpu_load_cap
+             ~name:Faceverify.kernel_name)
+      in
+      (* the pipeline: read from SSD into GPU memory, then run the kernel *)
+      let pipeline =
+        Flow.(
+          blk_read ~req:vol.Blockdev.read_req ~off:0 ~len:(batch * img_size)
+            ~dst:db.Gpu_adaptor.mem
+          >>> gpu_kernel ~req:invoke_req ~items:batch
+                ~bufs:[ probe; db; out ]
+                ~user:[ Args.of_int batch; Args.of_int img_size ])
+      in
+      ok_exn (Flow.run app pipeline);
+      (* verify the kernel really ran on disk data *)
+      let out_local = Process.alloc proc batch in
+      let dst = ok_exn (Api.memory_create proc out_local Perms.rw) in
+      ok_exn (Api.memory_copy proc ~src:out.Gpu_adaptor.mem ~dst);
+      check_bool "all matched" true
+        (Bytes.equal
+           (Membuf.read out_local ~off:0 ~len:batch)
+           (Bytes.make batch '\001')))
+
+let test_flow_error_propagates () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let vol =
+        ok_exn
+          (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+             ~size:4096)
+      in
+      let dst =
+        ok_exn (Api.memory_create proc (Process.alloc proc 8192) Perms.rw)
+      in
+      (* out-of-bounds read: the stage's error continuation must fire *)
+      let bad =
+        Flow.blk_read ~req:vol.Blockdev.read_req ~off:0 ~len:8192 ~dst
+      in
+      match Flow.run app bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "oob pipeline reported success")
+
+let test_flow_multi_stage_order () =
+  (* Three writes through a chain must land in order; each stage writes a
+     marker the next overlapping write partially overwrites. *)
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let vol =
+        ok_exn
+          (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+             ~size:4096)
+      in
+      let mk_src str =
+        let b = Process.alloc proc (String.length str) in
+        Membuf.write b ~off:0 (Bytes.of_string str);
+        ok_exn (Api.memory_create proc b Perms.ro)
+      in
+      let pipeline =
+        Flow.all
+          [
+            Flow.blk_write ~req:vol.Blockdev.write_req ~off:0 ~len:6
+              ~src:(mk_src "AAAAAA");
+            Flow.blk_write ~req:vol.Blockdev.write_req ~off:2 ~len:6
+              ~src:(mk_src "BBBBBB");
+            Flow.blk_write ~req:vol.Blockdev.write_req ~off:4 ~len:6
+              ~src:(mk_src "CCCCCC");
+          ]
+      in
+      ok_exn (Flow.run app pipeline);
+      let rbuf = Process.alloc proc 10 in
+      let dst = ok_exn (Api.memory_create proc rbuf Perms.rw) in
+      let ok, _ =
+        ok_exn
+          (Svc.call_cont app ~svc:vol.Blockdev.read_req
+             ~imms:(Blockdev.read_args ~off:0 ~len:10)
+             ~place:(fun ~ok ~err -> [ dst; ok; err ])
+             ())
+      in
+      check_bool "read ok" true ok;
+      Alcotest.(check string)
+        "stages applied in order" "AABBCCCCCC"
+        (Bytes.to_string rbuf.Membuf.data))
+
+let test_flow_async () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let vol =
+        ok_exn
+          (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+             ~size:4096)
+      in
+      let src = ok_exn (Api.memory_create proc (Process.alloc proc 64) Perms.ro) in
+      let completed = ref None in
+      ok_exn
+        (Flow.run_async app
+           (Flow.blk_write ~req:vol.Blockdev.write_req ~off:0 ~len:64 ~src)
+           (fun r -> completed := Some r));
+      check_bool "not yet complete" true (!completed = None);
+      Engine.sleep (Time.ms 5);
+      check_bool "completed ok" true (!completed = Some (Ok ())))
+
+let test_flow_fork_join () =
+  (* Scatter three writes to distinct volumes concurrently, continue only
+     when all three landed, then read each back. *)
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let vols =
+        List.init 3 (fun _ ->
+            ok_exn
+              (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+                 ~size:4096))
+      in
+      let payloads = [ "alpha!"; "bravo!"; "charli" ] in
+      let srcs =
+        List.map
+          (fun s ->
+            let b = Process.alloc proc 6 in
+            Membuf.write b ~off:0 (Bytes.of_string s);
+            ok_exn (Api.memory_create proc b Perms.ro))
+          payloads
+      in
+      let branches =
+        List.map2
+          (fun vol src ->
+            Flow.blk_write ~req:vol.Blockdev.write_req ~off:0 ~len:6 ~src)
+          vols srcs
+      in
+      let t0 = Engine.now () in
+      ok_exn (Flow.run app (Flow.fork_join branches));
+      let elapsed = Engine.now () - t0 in
+      (* branches overlapped: three serial writes would cost ~3x one *)
+      let t1 = Engine.now () in
+      ok_exn (Flow.run app (List.hd branches));
+      let one = Engine.now () - t1 in
+      check_bool
+        (Printf.sprintf "parallel (%s) < 2.5x one write (%s)"
+           (Time.to_string elapsed) (Time.to_string one))
+        true
+        (elapsed * 2 < one * 5);
+      (* all three landed *)
+      List.iteri
+        (fun i vol ->
+          let rbuf = Process.alloc proc 6 in
+          let dst = ok_exn (Api.memory_create proc rbuf Perms.rw) in
+          let ok, _ =
+            ok_exn
+              (Svc.call_cont app ~svc:vol.Blockdev.read_req
+                 ~imms:(Blockdev.read_args ~off:0 ~len:6)
+                 ~place:(fun ~ok ~err -> [ dst; ok; err ])
+                 ())
+          in
+          check_bool "read ok" true ok;
+          Alcotest.(check string)
+            (Printf.sprintf "volume %d" i)
+            (List.nth payloads i)
+            (Bytes.to_string rbuf.Membuf.data))
+        vols)
+
+let test_flow_fork_join_error () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let vol =
+        ok_exn
+          (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+             ~size:4096)
+      in
+      let src = ok_exn (Api.memory_create proc (Process.alloc proc 64) Perms.ro) in
+      let good = Flow.blk_write ~req:vol.Blockdev.write_req ~off:0 ~len:64 ~src in
+      let dst = ok_exn (Api.memory_create proc (Process.alloc proc 8192) Perms.rw) in
+      let bad = Flow.blk_read ~req:vol.Blockdev.read_req ~off:0 ~len:8192 ~dst in
+      match Flow.run app (Flow.fork_join [ good; bad ]) with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "failing branch did not fail the join")
+
+(* Two disaggregated GPUs chained peer-to-peer: GPU-1 unmasks the probe
+   batch, pushes it straight into GPU-2's memory (gpu.push), and GPU-2
+   runs face verification — the paper's "data goes first through a GPU
+   and then an FPGA" scenario, with no application mediation between the
+   devices. *)
+let test_flow_gpu_to_gpu () =
+  Tb.run (fun tb ->
+      let setups = Tb.nodes_with_ctrls tb Tb.Ctrl_cpu [ "app"; "gpu1"; "gpu2" ] in
+      let s_app = List.nth setups 0
+      and s_g1 = List.nth setups 1
+      and s_g2 = List.nth setups 2 in
+      let app_proc = Tb.add_proc tb ~on:s_app.Tb.node ~ctrl:s_app.Tb.ctrl "app" in
+      let app = Svc.create app_proc in
+      let cfg = Fractos_net.Config.default in
+      let mask = 0x55 in
+      let unmask_kernel =
+        {
+          Dev.Gpu.k_name = "unmask";
+          k_cost = (fun ~items -> items * 1000);
+          k_run =
+            (fun ~bufs ~imms ->
+              match (bufs, imms) with
+              | [ buf ], [ len; mask ] ->
+                for i = 0 to len - 1 do
+                  Membuf.write buf ~off:i
+                    (Bytes.make 1
+                       (Char.chr
+                          (Char.code (Bytes.get buf.Membuf.data i) lxor mask)))
+                done
+              | _ -> failwith "unmask: bad args");
+        }
+      in
+      let mk_gpu s name =
+        let proc = Tb.add_proc tb ~on:s.Tb.node ~ctrl:s.Tb.ctrl name in
+        let gpu = Dev.Gpu.create ~node:s.Tb.node ~config:cfg ~mem_bytes:(1 lsl 24) in
+        Dev.Gpu.load_kernel gpu (Faceverify.kernel ~config:cfg);
+        Dev.Gpu.load_kernel gpu unmask_kernel;
+        let ad = Gpu_adaptor.start proc gpu in
+        (proc, ad)
+      in
+      let g1_proc, g1 = mk_gpu s_g1 "gpu1-adaptor" in
+      let g2_proc, g2 = mk_gpu s_g2 "gpu2-adaptor" in
+      let grant_all proc ad =
+        let alloc_r, load_r, _ = Gpu_adaptor.base_requests ad in
+        ( Tb.grant ~src:proc ~dst:app_proc alloc_r,
+          Tb.grant ~src:proc ~dst:app_proc load_r,
+          Tb.grant ~src:proc ~dst:app_proc (Gpu_adaptor.push_request ad) )
+      in
+      let g1_alloc, g1_load, g1_push = grant_all g1_proc g1 in
+      let g2_alloc, g2_load, _ = grant_all g2_proc g2 in
+      let img_size = 256 and batch = 4 in
+      let data_len = batch * img_size in
+      (* buffers: masked probes on GPU-1; probe/db/out on GPU-2 *)
+      let b1 = ok_exn (Gpu_adaptor.alloc app ~alloc_req:g1_alloc ~size:data_len) in
+      let probe2 = ok_exn (Gpu_adaptor.alloc app ~alloc_req:g2_alloc ~size:data_len) in
+      let db2 = ok_exn (Gpu_adaptor.alloc app ~alloc_req:g2_alloc ~size:data_len) in
+      let out2 = ok_exn (Gpu_adaptor.alloc app ~alloc_req:g2_alloc ~size:batch) in
+      let proc = Svc.proc app in
+      (* upload the masked probes to GPU-1 and the database to GPU-2 *)
+      let clear = Facedata.db ~img_size ~n:batch in
+      let masked = Bytes.map (fun c -> Char.chr (Char.code c lxor mask)) clear in
+      let up data dst =
+        let b = Process.alloc proc (Bytes.length data) in
+        Membuf.write b ~off:0 data;
+        let m = ok_exn (Api.memory_create proc b Perms.ro) in
+        ok_exn (Api.memory_copy proc ~src:m ~dst)
+      in
+      up masked b1.Gpu_adaptor.mem;
+      up clear db2.Gpu_adaptor.mem;
+      let unmask_req = ok_exn (Gpu_adaptor.load app ~load_req:g1_load ~name:"unmask") in
+      let verify_req =
+        ok_exn (Gpu_adaptor.load app ~load_req:g2_load ~name:Faceverify.kernel_name)
+      in
+      let pipeline =
+        Flow.(
+          gpu_kernel ~req:unmask_req ~items:batch ~bufs:[ b1 ]
+            ~user:[ Args.of_int data_len; Args.of_int mask ]
+          >>> stage (fun svc ~next ~err ->
+                  Api.request_derive (Svc.proc svc) g1_push
+                    ~imms:(Gpu_adaptor.push_args b1 ~len:data_len)
+                    ~caps:[ probe2.Gpu_adaptor.mem; next; err ] ())
+          >>> gpu_kernel ~req:verify_req ~items:batch
+                ~bufs:[ probe2; db2; out2 ]
+                ~user:[ Args.of_int batch; Args.of_int img_size ])
+      in
+      Fractos_net.Stats.reset (Fractos_net.Fabric.stats tb.Tb.fabric);
+      ok_exn (Flow.run app pipeline);
+      (* results: every unmasked probe matched the database *)
+      let rbuf = Process.alloc proc batch in
+      let dst = ok_exn (Api.memory_create proc rbuf Perms.rw) in
+      ok_exn (Api.memory_copy proc ~src:out2.Gpu_adaptor.mem ~dst);
+      check_bool "all matched after GPU->GPU hop" true
+        (Bytes.equal rbuf.Membuf.data (Bytes.make batch '\001'));
+      (* the probe batch moved gpu1 -> gpu2 directly *)
+      let links = Fractos_net.Stats.per_link (Fractos_net.Fabric.stats tb.Tb.fabric) in
+      let bytes a b =
+        match List.assoc_opt (a, b) links with Some (_, n) -> n | None -> 0
+      in
+      check_bool "gpu1 -> gpu2 data" true (bytes "gpu1" "gpu2" >= data_len);
+      (* only small control messages (invoke forwarding) touch the app's
+         link to GPU-2 — the probe batch itself never does *)
+      check_bool "no bulk data via the app" true
+        (bytes "app" "gpu2" < data_len / 2))
+
+(* ------------------------------------------------------------------ *)
+(* RPC timeouts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_call_timeout () =
+  Tb.run (fun tb ->
+      let s = List.hd (Tb.nodes_with_ctrls tb Tb.Ctrl_cpu [ "n" ]) in
+      let server_p = Tb.add_proc tb ~on:s.Tb.node ~ctrl:s.Tb.ctrl "server" in
+      let client_p = Tb.add_proc tb ~on:s.Tb.node ~ctrl:s.Tb.ctrl "client" in
+      let server = Svc.create server_p in
+      let client = Svc.create client_p in
+      (* a server that answers only after 1 ms *)
+      Svc.handle server ~tag:"slow" (fun svc d ->
+          Engine.sleep (Time.ms 1);
+          Svc.reply svc d ~status:0 ());
+      let slow = ok_exn (Api.request_create server_p ~tag:"slow" ()) in
+      let slow_c = Tb.grant ~src:server_p ~dst:client_p slow in
+      (* 100 us deadline: expires *)
+      (match Svc.call client ~svc:slow_c ~timeout:(Time.us 100) () with
+      | Error Error.Timeout -> ()
+      | Ok _ -> Alcotest.fail "slow call met a 100us deadline"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e));
+      (* generous deadline: completes; the earlier late reply was dropped
+         harmlessly by the pump *)
+      match Svc.call client ~svc:slow_c ~timeout:(Time.ms 10) () with
+      | Ok d -> check_int "status" 0 (Svc.status d)
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Resource manager                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rm_setup tb =
+  let a = Tb.add_host tb "alpha" in
+  let b = Tb.add_host tb "beta" in
+  let ca = Tb.add_ctrl tb ~on:a in
+  let cb = Tb.add_ctrl tb ~on:b in
+  (* "device" provider: a service whose base request the RM manages *)
+  let dev = Tb.add_proc tb ~on:b ~ctrl:cb "device" in
+  let dev_svc = Svc.create dev in
+  Svc.handle dev_svc ~tag:"dev" (fun svc d -> Svc.reply svc d ~status:0 ());
+  let dev_req = ok_exn (Api.request_create dev ~tag:"dev" ()) in
+  let rm_proc = Tb.add_proc tb ~on:b ~ctrl:cb "resman" in
+  let rm =
+    Resman.start rm_proc
+      ~resources:[ ("dev", Tb.grant ~src:dev ~dst:rm_proc dev_req, 2) ]
+  in
+  (a, ca, rm, rm_proc)
+
+let new_client tb node ctrl rm rm_proc name =
+  let proc = Tb.add_proc tb ~on:node ~ctrl name in
+  let svc = Svc.create proc in
+  let rm_cap = Tb.grant ~src:rm_proc ~dst:proc (Resman.base_request rm) in
+  (proc, svc, rm_cap)
+
+let test_rm_acquire_use_release () =
+  Tb.run (fun tb ->
+      let a, ca, rm, rm_proc = rm_setup tb in
+      let _, svc, rm_cap = new_client tb a ca rm rm_proc "client" in
+      let _id, lease = ok_exn (Resman.acquire svc ~rm:rm_cap ~name:"dev") in
+      check_int "one lease out" 1 (Resman.leases rm ~name:"dev");
+      (* the leased capability works like the base request *)
+      let d = ok_exn (Svc.call svc ~svc:lease ()) in
+      check_int "service reachable through lease" 0 (Svc.status d);
+      (* release: the manager's delegation monitor reclaims it *)
+      ok_exn (Resman.release svc lease);
+      Engine.sleep (Time.ms 2);
+      check_int "lease reclaimed" 0 (Resman.leases rm ~name:"dev");
+      check_int "reclaim count" 1 (Resman.reclaimed rm))
+
+let test_rm_capacity () =
+  Tb.run (fun tb ->
+      let a, ca, rm, rm_proc = rm_setup tb in
+      let _, s1, c1 = new_client tb a ca rm rm_proc "c1" in
+      let _, s2, c2 = new_client tb a ca rm rm_proc "c2" in
+      let _, s3, c3 = new_client tb a ca rm rm_proc "c3" in
+      let _ = ok_exn (Resman.acquire s1 ~rm:c1 ~name:"dev") in
+      let _, lease2 = ok_exn (Resman.acquire s2 ~rm:c2 ~name:"dev") in
+      (match Resman.acquire s3 ~rm:c3 ~name:"dev" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "capacity exceeded");
+      (* freeing one lease restores capacity *)
+      ok_exn (Resman.release s2 lease2);
+      Engine.sleep (Time.ms 2);
+      let _ = ok_exn (Resman.acquire s3 ~rm:c3 ~name:"dev") in
+      check_int "two leases out" 2 (Resman.leases rm ~name:"dev"))
+
+let test_rm_client_death_reclaims () =
+  Tb.run (fun tb ->
+      let a, ca, rm, rm_proc = rm_setup tb in
+      let proc, svc, rm_cap = new_client tb a ca rm rm_proc "doomed" in
+      let _ = ok_exn (Resman.acquire svc ~rm:rm_cap ~name:"dev") in
+      check_int "one lease" 1 (Resman.leases rm ~name:"dev");
+      Controller.fail_process ca proc;
+      Engine.sleep (Time.ms 3);
+      check_int "death reclaims the lease" 0 (Resman.leases rm ~name:"dev");
+      check_int "reclaim count" 1 (Resman.reclaimed rm))
+
+let test_rm_admin_revocation () =
+  Tb.run (fun tb ->
+      let a, ca, rm, rm_proc = rm_setup tb in
+      let _, svc, rm_cap = new_client tb a ca rm rm_proc "client" in
+      let id, lease = ok_exn (Resman.acquire svc ~rm:rm_cap ~name:"dev") in
+      check_bool "admin revoke" true (Resman.revoke_lease rm ~name:"dev" ~lease_id:id);
+      Engine.sleep (Time.ms 2);
+      check_int "lease gone" 0 (Resman.leases rm ~name:"dev");
+      (* the client's capability is now dead *)
+      match Svc.call svc ~svc:lease () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "revoked lease still usable")
+
+let test_rm_unknown_resource () =
+  Tb.run (fun tb ->
+      let a, ca, rm, rm_proc = rm_setup tb in
+      let _, svc, rm_cap = new_client tb a ca rm rm_proc "client" in
+      match Resman.acquire svc ~rm:rm_cap ~name:"nope" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "acquired unknown resource")
+
+(* ------------------------------------------------------------------ *)
+(* Replica failover front                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replica_setup tb ~n =
+  let setups =
+    Tb.nodes_with_ctrls tb Tb.Ctrl_cpu
+      ("client" :: List.init n (fun i -> Printf.sprintf "r%d" i))
+  in
+  let s_client = List.hd setups in
+  let client_proc =
+    Tb.add_proc tb ~on:s_client.Tb.node ~ctrl:s_client.Tb.ctrl "client"
+  in
+  let client = Svc.create client_proc in
+  let replicas =
+    List.mapi
+      (fun i s ->
+        let proc =
+          Tb.add_proc tb ~on:s.Tb.node ~ctrl:s.Tb.ctrl
+            (Printf.sprintf "replica%d" i)
+        in
+        let svc = Svc.create proc in
+        Svc.handle svc ~tag:"svc" (fun svc d ->
+            Svc.reply svc d ~status:0 ~imms:[ Args.of_int i ] ());
+        let req = ok_exn (Api.request_create proc ~tag:"svc" ()) in
+        (proc, Tb.grant ~src:proc ~dst:client_proc req))
+      (List.tl setups)
+  in
+  (client, replicas)
+
+let test_replica_normal_operation () =
+  Tb.run (fun tb ->
+      let client, replicas = replica_setup tb ~n:3 in
+      let front =
+        ok_exn (Replica.create client ~replicas:(List.map snd replicas))
+      in
+      let d = ok_exn (Replica.call front ()) in
+      check_int "served by replica 0" 0 (Args.to_int (List.hd (Svc.payload_imms d)));
+      check_int "all live" 3 (Replica.live front))
+
+let test_replica_failover_on_death () =
+  Tb.run (fun tb ->
+      let client, replicas = replica_setup tb ~n:3 in
+      let front =
+        ok_exn (Replica.create client ~replicas:(List.map snd replicas))
+      in
+      ignore (ok_exn (Replica.call front ()));
+      (* kill the active replica: failure translation fires the client's
+         monitor, and the next call lands on replica 1 *)
+      let r0, _ = List.hd replicas in
+      Controller.fail_process (Option.get (Process.controller r0)) r0;
+      Engine.sleep (Time.ms 2);
+      check_int "one down" 2 (Replica.live front);
+      let d = ok_exn (Replica.call front ()) in
+      check_int "served by replica 1" 1
+        (Args.to_int (List.hd (Svc.payload_imms d)));
+      (* kill the second as well *)
+      let r1, _ = List.nth replicas 1 in
+      Controller.fail_process (Option.get (Process.controller r1)) r1;
+      Engine.sleep (Time.ms 2);
+      let d = ok_exn (Replica.call front ()) in
+      check_int "served by replica 2" 2
+        (Args.to_int (List.hd (Svc.payload_imms d))))
+
+let test_replica_all_dead () =
+  Tb.run (fun tb ->
+      let client, replicas = replica_setup tb ~n:2 in
+      let front =
+        ok_exn (Replica.create client ~replicas:(List.map snd replicas))
+      in
+      List.iter
+        (fun (r, _) ->
+          Controller.fail_process (Option.get (Process.controller r)) r)
+        replicas;
+      Engine.sleep (Time.ms 2);
+      match Replica.call front () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "call succeeded with every replica dead")
+
+let test_replica_inflight_race () =
+  (* the replica dies while a call is in flight: the deadline fires, the
+     front marks it suspect and retries on the backup *)
+  Tb.run (fun tb ->
+      let client, replicas = replica_setup tb ~n:2 in
+      let front =
+        ok_exn (Replica.create client ~replicas:(List.map snd replicas))
+      in
+      let r0, _ = List.hd replicas in
+      Engine.spawn (fun () ->
+          Engine.sleep (Time.us 5);
+          Controller.fail_process (Option.get (Process.controller r0)) r0);
+      let d = ok_exn (Replica.call front ()) in
+      check_int "failed over mid-call" 1
+        (Args.to_int (List.hd (Svc.payload_imms d))))
+
+(* ------------------------------------------------------------------ *)
+(* Full inference ring (Fig. 2 with the output leg)                    *)
+(* ------------------------------------------------------------------ *)
+
+let inference_setup tb ~img_size ~n_images ~max_batch ~depth =
+  let c =
+    Cluster.make
+      ~extent_size:(max 65536 (n_images * img_size))
+      ~write_through:true tb
+  in
+  let db = Facedata.db ~img_size ~n:n_images in
+  ok_exn
+    (Faceverify.populate_db c.Cluster.app ~fs:c.Cluster.fs_cap ~name:"facedb"
+       ~content:db);
+  let inf =
+    ok_exn
+      (Inference.setup c.Cluster.app ~fs:c.Cluster.fs_cap
+         ~gpu_alloc:c.Cluster.gpu_alloc_cap ~gpu_load:c.Cluster.gpu_load_cap
+         ~input_db:"facedb" ~output_file:"results" ~img_size ~max_batch ~depth)
+  in
+  (c, inf)
+
+let test_inference_ring_end_to_end () =
+  Tb.run (fun tb ->
+      let img_size = 512 and n_images = 64 in
+      let c, inf = inference_setup tb ~img_size ~n_images ~max_batch:8 ~depth:1 in
+      let batch = 8 and start_id = 16 in
+      let probes =
+        Facedata.probe_batch ~img_size ~start_id ~batch ~impostor_every:3
+      in
+      let flags = ok_exn (Inference.infer inf ~start_id ~batch ~probes) in
+      let expected = Facedata.expected_matches ~batch ~impostor_every:3 in
+      check_bool "client response correct" true (Bytes.equal flags expected);
+      (* the results were also persisted — read them back through the FS *)
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let h = ok_exn (Fs.open_ app ~fs:c.Cluster.fs_cap ~name:"results" Fs.Fs_ro) in
+      let rbuf = Process.alloc proc batch in
+      let dst = ok_exn (Api.memory_create proc rbuf Perms.rw) in
+      ok_exn
+        (Fs.read app h
+           ~off:(Inference.output_record_offset inf ~slot:0)
+           ~len:batch ~dst);
+      check_bool "results persisted via composed write" true
+        (Bytes.equal rbuf.Membuf.data expected))
+
+let test_inference_output_bypasses_app_and_fs () =
+  (* The composed output write must move the result bytes from the GPU
+     node to the storage node WITHOUT crossing the app or FS nodes. *)
+  Tb.run (fun tb ->
+      let img_size = 512 and n_images = 64 in
+      let c, inf = inference_setup tb ~img_size ~n_images ~max_batch:8 ~depth:1 in
+      let batch = 8 in
+      let probes =
+        Facedata.probe_batch ~img_size ~start_id:0 ~batch ~impostor_every:0
+      in
+      Fractos_net.Stats.reset (Cluster.stats c);
+      ignore (ok_exn (Inference.infer inf ~start_id:0 ~batch ~probes));
+      let links = Fractos_net.Stats.per_link (Cluster.stats c) in
+      let bytes a b =
+        match List.assoc_opt (a, b) links with
+        | Some (_, bytes) -> bytes
+        | None -> 0
+      in
+      check_bool "gpu -> storage data (SSD pulled from GPU)" true
+        (bytes "gpu" "storage" >= batch);
+      (* no result-sized data flows gpu -> fs node *)
+      check_bool "fs node out of the output data path" true
+        (bytes "gpu" "fs" = 0);
+      (* input leg still storage -> gpu direct *)
+      check_bool "storage -> gpu input data" true
+        (bytes "storage" "gpu" >= batch * img_size))
+
+let test_inference_concurrent () =
+  Tb.run (fun tb ->
+      let img_size = 256 and n_images = 64 in
+      let _, inf = inference_setup tb ~img_size ~n_images ~max_batch:8 ~depth:3 in
+      let done_count = ref 0 in
+      for k = 0 to 5 do
+        Engine.spawn (fun () ->
+            let start_id = k * 8 in
+            let probes =
+              Facedata.probe_batch ~img_size ~start_id ~batch:8
+                ~impostor_every:0
+            in
+            let flags = ok_exn (Inference.infer inf ~start_id ~batch:8 ~probes) in
+            if Bytes.equal flags (Bytes.make 8 '\001') then incr done_count)
+      done;
+      Engine.sleep (Time.s 2);
+      check_int "all six correct" 6 !done_count)
+
+(* ------------------------------------------------------------------ *)
+(* Edge-case sweep                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_all_empty () =
+  match Flow.all [] with
+  | _ -> Alcotest.fail "empty pipeline accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_dax_range_spanning_extents () =
+  Tb.run (fun tb ->
+      let c = Cluster.make ~extent_size:4096 tb in
+      let app = c.Cluster.app in
+      ok_exn (Fs.create app ~fs:c.Cluster.fs_cap ~name:"f" ~size:16384);
+      let dh = ok_exn (Fs.open_ app ~fs:c.Cluster.fs_cap ~name:"f" Fs.Dax_ro) in
+      check_int "four extents delegated" 4 (Array.length dh.Fs.h_dax_read);
+      (* intra-extent ranges resolve; spanning ones are rejected *)
+      check_bool "intra" true
+        (Fs.read_request_args dh ~off:4096 ~len:4096 <> None);
+      check_bool "spanning" true
+        (Fs.read_request_args dh ~off:2048 ~len:4096 = None))
+
+let test_gpu_push_bounds () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let buf = ok_exn (Gpu_adaptor.alloc app ~alloc_req:c.Cluster.gpu_alloc_cap ~size:64) in
+      let push =
+        Tb.grant
+          ~src:(Svc.proc (Gpu_adaptor.svc c.Cluster.gpu_adaptor))
+          ~dst:proc
+          (Gpu_adaptor.push_request c.Cluster.gpu_adaptor)
+      in
+      let dst = ok_exn (Api.memory_create proc (Process.alloc proc 256) Perms.rw) in
+      (* pushing more than the buffer holds takes the error path *)
+      match
+        Svc.call_cont app ~svc:push
+          ~imms:(Gpu_adaptor.push_args buf ~len:256)
+          ~place:(fun ~ok ~err -> [ dst; ok; err ])
+          ()
+      with
+      | Ok (false, _) -> ()
+      | Ok (true, _) -> Alcotest.fail "oversized push succeeded"
+      | Error e -> Alcotest.failf "unexpected: %s" (Core.Error.to_string e))
+
+let test_error_printing () =
+  List.iter
+    (fun e -> check_bool "non-empty" true (String.length (Error.to_string e) > 0))
+    [
+      Error.Invalid_cap; Error.Revoked; Error.Stale; Error.Perm_denied;
+      Error.Bounds; Error.Bad_argument "x"; Error.Provider_dead;
+      Error.Ctrl_unreachable; Error.Quota_exceeded; Error.Timeout;
+    ];
+  match Error.ok_exn (Error Error.Revoked) with
+  | _ -> Alcotest.fail "ok_exn did not raise"
+  | exception Error.Fractos Error.Revoked -> ()
+
+let () =
+  Alcotest.run "fractos_extensions"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "ssd->gpu pipeline" `Quick test_flow_ssd_to_gpu;
+          Alcotest.test_case "error propagates" `Quick
+            test_flow_error_propagates;
+          Alcotest.test_case "multi-stage order" `Quick
+            test_flow_multi_stage_order;
+          Alcotest.test_case "async completion" `Quick test_flow_async;
+          Alcotest.test_case "gpu-to-gpu peer pipeline" `Quick
+            test_flow_gpu_to_gpu;
+          Alcotest.test_case "fork/join" `Quick test_flow_fork_join;
+          Alcotest.test_case "fork/join error" `Quick test_flow_fork_join_error;
+        ] );
+      ("timeout", [ Alcotest.test_case "call deadline" `Quick test_call_timeout ]);
+      ( "edges",
+        [
+          Alcotest.test_case "flow empty" `Quick test_flow_all_empty;
+          Alcotest.test_case "dax extent ranges" `Quick
+            test_dax_range_spanning_extents;
+          Alcotest.test_case "gpu push bounds" `Quick test_gpu_push_bounds;
+          Alcotest.test_case "error printing" `Quick test_error_printing;
+        ] );
+      ( "resman",
+        [
+          Alcotest.test_case "acquire/use/release" `Quick
+            test_rm_acquire_use_release;
+          Alcotest.test_case "capacity" `Quick test_rm_capacity;
+          Alcotest.test_case "client death reclaims" `Quick
+            test_rm_client_death_reclaims;
+          Alcotest.test_case "admin revocation" `Quick test_rm_admin_revocation;
+          Alcotest.test_case "unknown resource" `Quick test_rm_unknown_resource;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "normal operation" `Quick
+            test_replica_normal_operation;
+          Alcotest.test_case "failover on death" `Quick
+            test_replica_failover_on_death;
+          Alcotest.test_case "all dead" `Quick test_replica_all_dead;
+          Alcotest.test_case "in-flight race" `Quick test_replica_inflight_race;
+        ] );
+      ( "inference-ring",
+        [
+          Alcotest.test_case "end to end with persisted output" `Quick
+            test_inference_ring_end_to_end;
+          Alcotest.test_case "output bypasses app and fs" `Quick
+            test_inference_output_bypasses_app_and_fs;
+          Alcotest.test_case "concurrent" `Quick test_inference_concurrent;
+        ] );
+    ]

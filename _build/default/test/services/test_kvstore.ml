@@ -1,0 +1,286 @@
+(* Tests for the key/value store service, plus failure injection across
+   the service stack. *)
+
+open Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+module Tb = Fractos_testbed.Testbed
+module Cluster = Fractos_testbed.Cluster
+open Fractos_services
+open Core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ok_exn = Error.ok_exn
+
+let kv_setup tb =
+  let c = Cluster.make tb in
+  let app = c.Cluster.app in
+  let kv_proc_node = c.Cluster.fs_node in
+  let kv_proc =
+    let ctrl =
+      Option.get (Process.controller (Svc.proc (Fs.svc c.Cluster.fs)))
+    in
+    Tb.add_proc tb ~on:kv_proc_node ~ctrl "kv"
+  in
+  let blk_proc = Svc.proc (Blockdev.svc c.Cluster.blk) in
+  let kv =
+    Result.get_ok
+      (Kvstore.start kv_proc
+         ~create_vol:
+           (Tb.grant ~src:blk_proc ~dst:kv_proc
+              (Blockdev.create_vol_request c.Cluster.blk))
+         ~log_size:(1 lsl 20) ())
+  in
+  let kv_cap =
+    Tb.grant ~src:kv_proc ~dst:(Svc.proc app) (Kvstore.base_request kv)
+  in
+  (c, app, kv, kv_cap)
+
+let mem_of app data perms =
+  let proc = Svc.proc app in
+  let buf = Process.alloc proc (Bytes.length data) in
+  Membuf.write buf ~off:0 data;
+  (buf, ok_exn (Api.memory_create proc buf perms))
+
+let test_kv_put_get () =
+  Tb.run (fun tb ->
+      let _, app, kv, kv_cap = kv_setup tb in
+      let value = Bytes.of_string "the quick brown fox jumps over the disk" in
+      let _, src = mem_of app value Perms.ro in
+      ok_exn (Kvstore.put app ~kv:kv_cap ~key:"fox" ~src ~len:(Bytes.length value));
+      check_int "one entry" 1 (Kvstore.entries kv);
+      let rbuf = Process.alloc (Svc.proc app) 64 in
+      let dst = ok_exn (Api.memory_create (Svc.proc app) rbuf Perms.rw) in
+      let len = ok_exn (Kvstore.get app ~kv:kv_cap ~key:"fox" ~dst) in
+      check_int "length" (Bytes.length value) len;
+      check_bool "value" true
+        (Bytes.equal (Membuf.read rbuf ~off:0 ~len) value))
+
+let test_kv_missing_key () =
+  Tb.run (fun tb ->
+      let _, app, _, kv_cap = kv_setup tb in
+      let rbuf = Process.alloc (Svc.proc app) 16 in
+      let dst = ok_exn (Api.memory_create (Svc.proc app) rbuf Perms.rw) in
+      match Kvstore.get app ~kv:kv_cap ~key:"ghost" ~dst with
+      | Error Error.Invalid_cap -> ()
+      | Ok _ -> Alcotest.fail "got a missing key"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e))
+
+let test_kv_overwrite () =
+  Tb.run (fun tb ->
+      let _, app, kv, kv_cap = kv_setup tb in
+      let v1 = Bytes.of_string "first" and v2 = Bytes.of_string "second!" in
+      let _, s1 = mem_of app v1 Perms.ro in
+      let _, s2 = mem_of app v2 Perms.ro in
+      ok_exn (Kvstore.put app ~kv:kv_cap ~key:"k" ~src:s1 ~len:(Bytes.length v1));
+      let used1 = Kvstore.log_used kv in
+      ok_exn (Kvstore.put app ~kv:kv_cap ~key:"k" ~src:s2 ~len:(Bytes.length v2));
+      check_int "still one entry" 1 (Kvstore.entries kv);
+      check_bool "log is append-only" true (Kvstore.log_used kv > used1);
+      let rbuf = Process.alloc (Svc.proc app) 16 in
+      let dst = ok_exn (Api.memory_create (Svc.proc app) rbuf Perms.rw) in
+      let len = ok_exn (Kvstore.get app ~kv:kv_cap ~key:"k" ~dst) in
+      check_bool "latest value" true
+        (Bytes.equal (Membuf.read rbuf ~off:0 ~len) v2))
+
+let test_kv_locate_direct_read () =
+  Tb.run (fun tb ->
+      let c, app, _, kv_cap = kv_setup tb in
+      let proc = Svc.proc app in
+      let value = Bytes.init 4096 (fun i -> Char.chr ((i * 11) land 0xff)) in
+      let _, src = mem_of app value Perms.ro in
+      ok_exn (Kvstore.put app ~kv:kv_cap ~key:"big" ~src ~len:4096);
+      let read_req, off, len = ok_exn (Kvstore.locate app ~kv:kv_cap ~key:"big") in
+      check_int "length from locate" 4096 len;
+      (* read directly from the SSD, bypassing the KV process *)
+      let rbuf = Process.alloc proc len in
+      let dst = ok_exn (Api.memory_create proc rbuf Perms.rw) in
+      Net.Stats.reset (Cluster.stats c);
+      let ok, _ =
+        ok_exn
+          (Svc.call_cont app ~svc:read_req
+             ~imms:[ Args.of_int off; Args.of_int len ]
+             ~place:(fun ~ok ~err -> [ dst; ok; err ])
+             ())
+      in
+      check_bool "direct read ok" true ok;
+      check_bool "value" true (Bytes.equal rbuf.Membuf.data value);
+      (* the value bytes never crossed the KV service's node *)
+      let links = Net.Stats.per_link (Cluster.stats c) in
+      let bytes a b =
+        match List.assoc_opt (a, b) links with Some (_, n) -> n | None -> 0
+      in
+      check_bool "data straight from storage" true (bytes "storage" "app" >= len);
+      check_int "kv node untouched by data" 0 (bytes "fs" "app"))
+
+let test_kv_delete () =
+  Tb.run (fun tb ->
+      let _, app, kv, kv_cap = kv_setup tb in
+      let _, src = mem_of app (Bytes.of_string "x") Perms.ro in
+      ok_exn (Kvstore.put app ~kv:kv_cap ~key:"k" ~src ~len:1);
+      ok_exn (Kvstore.delete app ~kv:kv_cap ~key:"k");
+      check_int "empty" 0 (Kvstore.entries kv);
+      match Kvstore.delete app ~kv:kv_cap ~key:"k" with
+      | Error Error.Invalid_cap -> ()
+      | Ok () -> Alcotest.fail "double delete succeeded"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e))
+
+let test_kv_log_full () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let blk_proc = Svc.proc (Blockdev.svc c.Cluster.blk) in
+      let kv_proc =
+        Tb.add_proc tb ~on:c.Cluster.fs_node
+          ~ctrl:(Option.get (Process.controller (Svc.proc (Fs.svc c.Cluster.fs))))
+          "kv-small"
+      in
+      let kv =
+        Result.get_ok
+          (Kvstore.start kv_proc
+             ~create_vol:
+               (Tb.grant ~src:blk_proc ~dst:kv_proc
+                  (Blockdev.create_vol_request c.Cluster.blk))
+             ~log_size:1024 ())
+      in
+      ignore kv;
+      let kv_cap =
+        Tb.grant ~src:kv_proc ~dst:(Svc.proc app) (Kvstore.base_request kv)
+      in
+      let _, src = mem_of app (Bytes.create 800) Perms.ro in
+      ok_exn (Kvstore.put app ~kv:kv_cap ~key:"a" ~src ~len:800);
+      match Kvstore.put app ~kv:kv_cap ~key:"b" ~src ~len:800 with
+      | Error Error.Bounds -> ()
+      | Ok () -> Alcotest.fail "log overcommitted"
+      | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection across the service stack                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_blk_adaptor_death_fails_fs () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      ok_exn (Fs.create app ~fs:c.Cluster.fs_cap ~name:"f" ~size:4096);
+      let h = ok_exn (Fs.open_ app ~fs:c.Cluster.fs_cap ~name:"f" Fs.Fs_rw) in
+      (* the block adaptor dies: its per-volume Requests are revoked *)
+      let blk_proc = Svc.proc (Blockdev.svc c.Cluster.blk) in
+      Controller.fail_process (Option.get (Process.controller blk_proc)) blk_proc;
+      Engine.sleep (Time.ms 2);
+      let src = ok_exn (Api.memory_create proc (Process.alloc proc 64) Perms.ro) in
+      match Fs.write app h ~off:0 ~len:64 ~src with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "write succeeded with a dead block adaptor")
+
+let test_dax_handle_dies_with_adaptor () =
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      ok_exn (Fs.create app ~fs:c.Cluster.fs_cap ~name:"f" ~size:4096);
+      let dh = ok_exn (Fs.open_ app ~fs:c.Cluster.fs_cap ~name:"f" Fs.Dax_ro) in
+      let blk_proc = Svc.proc (Blockdev.svc c.Cluster.blk) in
+      Controller.fail_process (Option.get (Process.controller blk_proc)) blk_proc;
+      Engine.sleep (Time.ms 2);
+      let dst = ok_exn (Api.memory_create proc (Process.alloc proc 64) Perms.rw) in
+      (* the delegated per-extent Request is dead: the invoke itself fails
+         (the capability chain was invalidated by failure translation) *)
+      match
+        Api.request_derive proc dh.Fs.h_dax_read.(0)
+          ~imms:(Blockdev.read_args ~off:0 ~len:64)
+          ~caps:[ dst ] ()
+      with
+      | Error _ -> ()
+      | Ok r -> (
+        match Api.request_invoke proc r with
+        | Error _ -> ()
+        | Ok () ->
+          (* invocation accepted at the local hop; the chain must die
+             before any delivery *)
+          Engine.sleep (Time.ms 2);
+          check_int "no delivery to the dead adaptor" 0
+            (Sim.Channel.length (Svc.proc (Blockdev.svc c.Cluster.blk)).State.inbox)))
+
+let test_gpu_adaptor_death_mid_pipeline () =
+  (* The GPU adaptor dies after the SSD read is posted: the chain's tail
+     fails silently, and the application's deadline fires — the paper's
+     application-level cancellation story. *)
+  Tb.run (fun tb ->
+      let c = Cluster.make tb in
+      let app = c.Cluster.app in
+      let proc = Svc.proc app in
+      let img_size = 256 and batch = 4 in
+      let vol =
+        ok_exn
+          (Blockdev.create_vol app ~create_req:c.Cluster.create_vol_cap
+             ~size:65536)
+      in
+      let gpu_buf =
+        ok_exn
+          (Gpu_adaptor.alloc app ~alloc_req:c.Cluster.gpu_alloc_cap
+             ~size:(batch * img_size))
+      in
+      let invoke_req =
+        ok_exn
+          (Gpu_adaptor.load app ~load_req:c.Cluster.gpu_load_cap
+             ~name:Faceverify.kernel_name)
+      in
+      (* kill the GPU adaptor, then fire the SSD->GPU chain *)
+      let gpu_proc = Svc.proc (Gpu_adaptor.svc c.Cluster.gpu_adaptor) in
+      Controller.fail_process (Option.get (Process.controller gpu_proc)) gpu_proc;
+      Engine.sleep (Time.ms 2);
+      let ok_tag = Svc.fresh_tag app and err_tag = Svc.fresh_tag app in
+      let ok_cont = ok_exn (Api.request_create proc ~tag:ok_tag ()) in
+      let err_cont = ok_exn (Api.request_create proc ~tag:err_tag ()) in
+      let iv = Svc.expect_pair app ~ok:ok_tag ~err:err_tag in
+      match
+        Api.request_derive proc invoke_req
+          ~imms:
+            (Gpu_adaptor.invoke_args ~items:batch ~bufs:[ gpu_buf ]
+               ~user:[ Args.of_int batch; Args.of_int img_size ])
+          ~caps:[ ok_cont; err_cont ] ()
+      with
+      | Error _ -> () (* even the derive may already fail: fine *)
+      | Ok kernel_req -> (
+        match
+          Api.request_derive proc vol.Blockdev.read_req
+            ~imms:(Blockdev.read_args ~off:0 ~len:(batch * img_size))
+            ~caps:[ gpu_buf.Gpu_adaptor.mem; kernel_req ] ()
+        with
+        | Error _ -> ()
+        | Ok pipeline -> (
+          match Api.request_invoke proc pipeline with
+          | Error _ -> ()
+          | Ok () -> (
+            match Sim.Ivar.await_timeout iv ~timeout:(Time.ms 50) with
+            | None -> () (* deadline fired: correct app-level handling *)
+            | Some d ->
+              check_bool "only the error continuation may fire" true
+                (String.equal d.State.d_tag err_tag)))))
+
+let () =
+  Alcotest.run "fractos_kvstore"
+    [
+      ( "kvstore",
+        [
+          Alcotest.test_case "put/get" `Quick test_kv_put_get;
+          Alcotest.test_case "missing key" `Quick test_kv_missing_key;
+          Alcotest.test_case "overwrite" `Quick test_kv_overwrite;
+          Alcotest.test_case "locate + direct read" `Quick
+            test_kv_locate_direct_read;
+          Alcotest.test_case "delete" `Quick test_kv_delete;
+          Alcotest.test_case "log full" `Quick test_kv_log_full;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "blk adaptor death fails fs" `Quick
+            test_blk_adaptor_death_fails_fs;
+          Alcotest.test_case "dax handle dies with adaptor" `Quick
+            test_dax_handle_dies_with_adaptor;
+          Alcotest.test_case "gpu death mid-pipeline" `Quick
+            test_gpu_adaptor_death_mid_pipeline;
+        ] );
+    ]
