@@ -4,11 +4,30 @@
 
 module Sim = Fractos_sim
 module Net = Fractos_net
+module Obs = Fractos_obs
 
 (* Optional machine-readable output: when [csv_dir] is set (bench main's
    --csv flag), every printed table is also written as
    <dir>/<section-slug>-<n>.csv. *)
 let csv_dir : string option ref = ref None
+
+(* Optional Chrome traces: when [trace_dir] is set (bench main's --trace
+   flag), experiments wrapped in [with_experiment_trace] write
+   <dir>/<name>.json, loadable in Perfetto. *)
+let trace_dir : string option ref = ref None
+
+let with_experiment_trace name f =
+  match !trace_dir with
+  | None -> f ()
+  | Some dir ->
+    Obs.Span.reset ();
+    Obs.Span.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Span.set_enabled false;
+        Obs.Export.write_chrome_trace (Filename.concat dir (name ^ ".json")))
+      f
+
 let current_slug = ref "untitled"
 let table_counter = ref 0
 

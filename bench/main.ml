@@ -110,6 +110,16 @@ let () =
     | [] -> List.rev acc
   in
   let args = extract_csv [] args in
+  (* --trace DIR: write a Chrome trace per experiment *)
+  let rec extract_trace acc = function
+    | "--trace" :: dir :: rest ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Bench_util.trace_dir := Some dir;
+      extract_trace acc rest
+    | a :: rest -> extract_trace (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_trace [] args in
   if List.mem "--list" args then
     List.iter (fun (n, _) -> print_endline n) experiments
   else begin
@@ -126,6 +136,6 @@ let () =
               exit 1)
           names
     in
-    List.iter (fun (_, f) -> f ()) selected;
+    List.iter (fun (n, f) -> Bench_util.with_experiment_trace n f) selected;
     if (not no_bechamel) && args = [] then run_bechamel ()
   end

@@ -9,6 +9,7 @@
 open Cmdliner
 open Fractos_sim
 module Net = Fractos_net
+module Obs = Fractos_obs
 module Core = Fractos_core
 module Tb = Fractos_testbed.Testbed
 module Cluster = Fractos_testbed.Cluster
@@ -59,10 +60,25 @@ let trace =
     & info [ "trace" ] ~docv:"N"
         ~doc:"Print the first $(docv) network messages of the run.")
 
+let trace_json =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace of the request phase to $(docv) \
+              (open it at ui.perfetto.dev or chrome://tracing).")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the per-node metrics registry (counters, gauges, \
+              syscall latency percentiles) after the run.")
+
 (* ---------------- run ---------------------------------------------- *)
 
-let run_cmd placement batch requests seed trace =
+let run_cmd placement batch requests seed trace trace_json metrics =
   let img_size = 4096 and n_images = 4096 in
+  Obs.Metrics.reset ();
   Tb.run (fun tb ->
       let recorder = Fractos_net.Trace.recorder () in
       let c = Cluster.make ~placement ~extent_size:(n_images * img_size) tb in
@@ -81,6 +97,11 @@ let run_cmd placement batch requests seed trace =
       Format.printf "face-verification on FractOS: %d requests, batch %d@."
         requests batch;
       Net.Stats.reset (Cluster.stats c);
+      (* trace the request phase only: setup (db population) would dwarf it *)
+      if trace_json <> None then begin
+        Obs.Span.reset ();
+        Obs.Span.set_enabled true
+      end;
       if trace <> None then
         Net.Fabric.set_tracer tb.Tb.fabric
           (Some (Net.Trace.record recorder));
@@ -90,7 +111,11 @@ let run_cmd placement batch requests seed trace =
           Facedata.probe_batch ~img_size ~start_id ~batch ~impostor_every:5
         in
         let t0 = Engine.now () in
-        let flags = ok_exn (Faceverify.verify fv ~start_id ~batch ~probes) in
+        let flags =
+          Obs.Span.with_ ~node:"app" ~name:"request"
+            ~attrs:[ ("id", string_of_int r) ]
+            (fun () -> ok_exn (Faceverify.verify fv ~start_id ~batch ~probes))
+        in
         let matches =
           Bytes.fold_left
             (fun acc c -> if c = '\001' then acc + 1 else acc)
@@ -104,6 +129,17 @@ let run_cmd placement batch requests seed trace =
       done;
       Format.printf "@.%a@." Net.Stats.pp_census
         (Net.Stats.census (Cluster.stats c));
+      if metrics then Format.printf "@.%a" Obs.Metrics.pp ();
+      (match trace_json with
+      | Some path -> (
+        Obs.Span.set_enabled false;
+        try
+          Obs.Export.write_chrome_trace path;
+          Format.printf "@.wrote %d spans to %s@." (Obs.Span.count ()) path
+        with Sys_error msg ->
+          Format.eprintf "@.fractos: cannot write trace: %s@." msg;
+          exit 1)
+      | None -> ());
       match trace with
       | Some n ->
         Format.printf "@.first %d network messages:@." n;
@@ -331,7 +367,9 @@ let topology_cmd placement =
 let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Run the end-to-end face-verification scenario")
-    Term.(const run_cmd $ placement $ batch $ requests $ seed $ trace)
+    Term.(
+      const run_cmd $ placement $ batch $ requests $ seed $ trace $ trace_json
+      $ metrics)
 
 let primitives_t =
   Cmd.v

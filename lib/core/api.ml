@@ -26,20 +26,35 @@ let call_async (proc : proc) ~size build =
 (* Synchronous veneer: post and await. *)
 let call proc ~size build = Sim.Ivar.await (call_async proc ~size build)
 
+(* Timed synchronous veneer: wraps the post-to-completion interval of one
+   named syscall in a span ("sys.<name>") and a per-node latency
+   histogram ("syscall.<name>"). *)
+let timed name (proc : proc) ~size build =
+  let node = proc.pnode.Net.Node.name in
+  let t0 = Sim.Engine.now () in
+  let r =
+    Obs.Span.with_ ~node ~name:("sys." ^ name) (fun () ->
+        call proc ~size build)
+  in
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~node ("syscall." ^ name))
+    (Sim.Engine.now () - t0);
+  r
+
 let null proc =
-  call proc ~size:(Wire.syscall ()) (fun reply -> Sys_null reply)
+  timed "null" proc ~size:(Wire.syscall ()) (fun reply -> Sys_null reply)
 
 let memory_create proc ?(off = 0) ?len buf perms =
   let len = match len with Some l -> l | None -> Membuf.size buf - off in
-  call proc ~size:(Wire.syscall ()) (fun reply ->
+  timed "memory_create" proc ~size:(Wire.syscall ()) (fun reply ->
       Sys_mem_create { buf; off; len; perms; reply })
 
 let memory_diminish proc cid ~off ~len ~drop =
-  call proc ~size:(Wire.syscall ()) (fun reply ->
+  timed "memory_diminish" proc ~size:(Wire.syscall ()) (fun reply ->
       Sys_mem_diminish { cid; off; len; drop; reply })
 
 let memory_copy proc ~src ~dst =
-  call proc ~size:(Wire.syscall ~caps:2 ()) (fun reply ->
+  timed "memory_copy" proc ~size:(Wire.syscall ~caps:2 ()) (fun reply ->
       Sys_mem_copy { src; dst; reply })
 
 let memory_copy_async proc ~src ~dst =
@@ -47,17 +62,17 @@ let memory_copy_async proc ~src ~dst =
       Sys_mem_copy { src; dst; reply })
 
 let request_create proc ~tag ?(imms = []) ?(caps = []) () =
-  call proc
+  timed "request_create" proc
     ~size:(Wire.syscall ~imms ~caps:(List.length caps) ())
     (fun reply -> Sys_req_create { tag; imms; caps; reply })
 
 let request_derive proc parent ?(imms = []) ?(caps = []) () =
-  call proc
+  timed "request_derive" proc
     ~size:(Wire.syscall ~imms ~caps:(1 + List.length caps) ())
     (fun reply -> Sys_req_derive { parent; imms; caps; reply })
 
 let request_invoke proc cid =
-  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+  timed "request_invoke" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_req_invoke { cid; reply })
 
 let request_invoke_async proc cid =
@@ -84,19 +99,19 @@ let try_receive (proc : proc) =
   | None -> None
 
 let cap_create_revtree proc cid =
-  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+  timed "cap_create_revtree" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_revtree_create { cid; reply })
 
 let cap_revoke proc cid =
-  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+  timed "cap_revoke" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_revoke { cid; reply })
 
 let monitor_delegate proc cid ~cb =
-  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+  timed "monitor_delegate" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_mon_delegate { cid; cb; reply })
 
 let monitor_receive proc cid ~cb =
-  call proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+  timed "monitor_receive" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_mon_receive { cid; cb; reply })
 
 let monitor_next (proc : proc) = Sim.Channel.recv proc.monitor_box

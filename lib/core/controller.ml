@@ -7,6 +7,18 @@ let next_copy_id = ref 0
 
 let config ctrl = Net.Fabric.config ctrl.fabric
 let kind ctrl = ctrl.cnode.Net.Node.kind
+let node_name ctrl = ctrl.cnode.Net.Node.name
+
+(* Observability: metrics are always on (integer arithmetic on interned
+   instruments); spans only when tracing is enabled, with the attribute
+   thunk left unevaluated otherwise. *)
+let g_captable ctrl = Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.captable"
+let g_revtree ctrl = Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.revtree"
+
+let span ctrl ?(attrs = fun () -> []) name f =
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~node:(node_name ctrl) ~attrs:(attrs ()) ~name f
+  else f ()
 
 (* Charge controller software cost: occupies one of the controller's two
    cores for the class-scaled duration (queueing under load is implicit). *)
@@ -23,11 +35,13 @@ let charge_scaled ctrl cls base =
 (* ------------------------------------------------------------------ *)
 
 let reply_to ctrl (r : _ reply) v =
+  Obs.Span.instant ~node:(node_name ctrl) ~name:"ctrl.reply" ();
   charge ctrl [ (Net.Cost.Msg, 1) ];
   Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:r.r_proc.pnode
     ~size:Wire.response (fun () -> Sim.Ivar.fill r.r_ivar v)
 
 let rreply_to ctrl (rr : _ rreply) v =
+  Obs.Span.instant ~node:(node_name ctrl) ~name:"ctrl.reply" ();
   charge ctrl [ (Net.Cost.Msg, 1) ];
   Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:rr.rr_ctrl.cnode
     ~size:Wire.response (fun () -> Sim.Ivar.fill rr.rr_ivar v)
@@ -75,6 +89,7 @@ let insert_cap ctrl space addr ~counts =
     space.cs_next <- cid + 1;
     Hashtbl.replace space.cs_caps cid
       { e_addr = addr; e_delegator = false; e_counts = counts };
+    Obs.Metrics.add (g_captable ctrl) 1;
     if cfg.track_delegations then
       if addr.a_ctrl = ctrl.ctrl_id then (
         match Hashtbl.find_opt ctrl.objects addr.a_oid with
@@ -159,6 +174,7 @@ let apply_decrement ctrl addr =
 
 let drop_entry ctrl space cid (entry : entry) =
   Hashtbl.remove space.cs_caps cid;
+  Obs.Metrics.add (g_captable ctrl) (-1);
   if (config ctrl).track_delegations then begin
     let addr = entry.e_addr in
     if addr.a_ctrl = ctrl.ctrl_id then (
@@ -305,6 +321,11 @@ let rreply_opt ctrl rr v =
 (* Deliver a fully materialized request to its provider process, delegating
    capability arguments into the provider's space. *)
 let deliver ctrl (r : req) imms caps rr =
+  span ctrl
+    ~attrs:(fun () ->
+      [ ("tag", r.r_tag); ("caps", string_of_int (List.length caps)) ])
+    "ctrl.deliver"
+  @@ fun () ->
   let provider = r.r_provider in
   if not provider.alive then rreply_opt ctrl rr (Error Error.Provider_dead)
   else
@@ -313,6 +334,7 @@ let deliver ctrl (r : req) imms caps rr =
     | Ok space ->
       charge ctrl [ (Net.Cost.Cap_transfer, List.length caps) ];
       let delegated =
+        span ctrl "ctrl.delegate" @@ fun () ->
         List.fold_left
           (fun acc (addr, monitored) ->
             match acc with
@@ -337,6 +359,8 @@ let deliver ctrl (r : req) imms caps rr =
         | None -> assert false
       in
       Sim.Semaphore.acquire window;
+      Obs.Metrics.incr
+        (Obs.Metrics.counter ~node:(node_name ctrl) "ctrl.requests_delivered");
       let size = Wire.invoke ~imms ~caps:(List.length caps) in
       Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:provider.pnode ~size
         (fun () ->
@@ -351,6 +375,10 @@ let deliver ctrl (r : req) imms caps rr =
    caller's posting acknowledgment is sent by the first owner that
    validates the invocation; forwarded hops carry no reply path. *)
 let rec do_invoke ctrl addr suffix_imms suffix_caps rr =
+  span ctrl
+    ~attrs:(fun () -> [ ("oid", string_of_int addr.a_oid) ])
+    "ctrl.invoke"
+  @@ fun () ->
   charge ctrl [ (Net.Cost.Lookup, 1) ];
   match Objects.find ctrl addr with
   | Error e -> rreply_opt ctrl rr (Error e)
@@ -413,6 +441,11 @@ let start_copy_session ctrl ~copy_id ~dst_mem =
       let rec loop () =
         let ck = Sim.Channel.recv chan in
         let len = Bytes.length ck.ck_data in
+        (span ctrl
+           ~attrs:(fun () ->
+             [ ("off", string_of_int ck.ck_off); ("len", string_of_int len) ])
+           "ctrl.copy.write"
+        @@ fun () ->
         (* staging memcpy through the bounce buffer *)
         if len > 0 then
           Sim.Resource.use ctrl.cpu
@@ -422,7 +455,7 @@ let start_copy_session ctrl ~copy_id ~dst_mem =
         (* RDMA write from the bounce buffer into process memory *)
         if len > 0 then
           Net.Fabric.transfer ctrl.fabric ~src:ctrl.cnode
-            ~dst:dst_mem.m_buf.Membuf.node ~cls:Net.Stats.Data ~size:len ();
+            ~dst:dst_mem.m_buf.Membuf.node ~cls:Net.Stats.Data ~size:len ());
         match ck.ck_last with
         | Some rr ->
           Hashtbl.remove ctrl.copy_sessions copy_id;
@@ -466,6 +499,10 @@ let do_copy_open ctrl ~copy_id ~dst ~total =
    original caller's ack, so completion is signaled by the destination
    controller directly to the origin (paper's decentralized data path). *)
 let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
+  span ctrl
+    ~attrs:(fun () -> [ ("src_oid", string_of_int src.a_oid) ])
+    "ctrl.copy"
+  @@ fun () ->
   let cfg = config ctrl in
   charge_scaled ctrl Net.Cost.Serialize cfg.copy_setup;
   charge ctrl [ (Net.Cost.Lookup, 2) ];
@@ -489,6 +526,11 @@ let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
             let n = List.length chunks in
             List.iteri
               (fun i (off, len) ->
+                span ctrl
+                  ~attrs:(fun () ->
+                    [ ("off", string_of_int off); ("len", string_of_int len) ])
+                  "ctrl.copy.chunk"
+                @@ fun () ->
                 (* RDMA read from source process memory into the bounce
                    buffer *)
                 if len > 0 then
@@ -797,7 +839,7 @@ let sys_mon_receive ctrl ~caller cid ~cb (reply : unit reply) =
     in
     reply_to ctrl reply res
 
-let handle_syscall ctrl msg =
+let dispatch_syscall ctrl msg =
   match msg with
   | Sys_null reply ->
     charge ctrl [ (Net.Cost.Msg, 1) ];
@@ -826,6 +868,35 @@ let handle_syscall ctrl msg =
     | Some w -> Sim.Semaphore.release w
     | None -> ())
 
+let syscall_name = function
+  | Sys_null _ -> "null"
+  | Sys_mem_create _ -> "memory_create"
+  | Sys_mem_diminish _ -> "memory_diminish"
+  | Sys_mem_copy _ -> "memory_copy"
+  | Sys_req_create _ -> "request_create"
+  | Sys_req_derive _ -> "request_derive"
+  | Sys_req_invoke _ -> "request_invoke"
+  | Sys_revtree_create _ -> "cap_create_revtree"
+  | Sys_revoke _ -> "cap_revoke"
+  | Sys_mon_delegate _ -> "monitor_delegate"
+  | Sys_mon_receive _ -> "monitor_receive"
+  | Sys_credit _ -> "credit"
+
+let handle_syscall ctrl msg =
+  match msg with
+  | Sys_credit _ ->
+    (* flow-control credits are not requests: keep them out of the
+       syscall counter and trace *)
+    dispatch_syscall ctrl msg
+  | _ ->
+    Obs.Metrics.incr
+      (Obs.Metrics.counter ~node:(node_name ctrl) "ctrl.syscalls");
+    Obs.Metrics.set
+      (Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.sys_backlog")
+      (Net.Endpoint.pending ctrl.sys_ep);
+    span ctrl ("ctrl." ^ syscall_name msg) (fun () ->
+        dispatch_syscall ctrl msg)
+
 (* Reject a syscall at "transport level" when the controller has crashed:
    the caller's QP times out; no controller software runs. *)
 let reject_syscall msg =
@@ -850,7 +921,7 @@ let reject_syscall msg =
 (* Peer message handlers                                               *)
 (* ------------------------------------------------------------------ *)
 
-let handle_peer ctrl msg =
+let dispatch_peer ctrl msg =
   match msg with
   | P_invoke { addr; suffix_imms; suffix_caps; reply } ->
     charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Serialize, 1) ];
@@ -970,6 +1041,29 @@ let handle_peer ctrl msg =
             q
         in
         Queue.add chunk q))
+
+let peer_name = function
+  | P_invoke _ -> "invoke"
+  | P_diminish _ -> "diminish"
+  | P_revtree _ -> "revtree"
+  | P_revoke _ -> "revoke"
+  | P_cleanup _ -> "cleanup"
+  | P_increment _ -> "increment"
+  | P_decrement _ -> "decrement"
+  | P_ref_inc _ -> "ref_inc"
+  | P_ref_dec _ -> "ref_dec"
+  | P_mon_delegate _ -> "mon_delegate"
+  | P_mon_receive _ -> "mon_receive"
+  | P_copy_pull _ -> "copy_pull"
+  | P_copy_open _ -> "copy_open"
+  | P_copy_chunk _ -> "copy_chunk"
+
+let handle_peer ctrl msg =
+  Obs.Metrics.incr (Obs.Metrics.counter ~node:(node_name ctrl) "ctrl.peer_msgs");
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.peer_backlog")
+    (Net.Endpoint.pending ctrl.peer_ep);
+  span ctrl ("ctrl.peer." ^ peer_name msg) (fun () -> dispatch_peer ctrl msg)
 
 let reject_peer msg =
   let kill : type a. a rreply -> unit =
@@ -1114,7 +1208,10 @@ let restart ctrl =
   Hashtbl.reset ctrl.copy_failures;
   Hashtbl.reset ctrl.copy_pending;
   ctrl.next_oid <- 1;
-  ctrl.running <- true
+  ctrl.running <- true;
+  (* the tables were reset wholesale: re-zero the incremental gauges *)
+  Obs.Metrics.set (g_captable ctrl) 0;
+  Obs.Metrics.set (g_revtree ctrl) 0
 
 let live_objects ctrl = Objects.live_count ctrl
 let tombstones ctrl = Objects.tombstone_count ctrl

@@ -1,5 +1,9 @@
 open State
 
+(* Object-table size (the revocation trees live here) as a per-node gauge. *)
+let g_objects ctrl =
+  Obs.Metrics.gauge ~node:ctrl.cnode.Net.Node.name "ctrl.revtree"
+
 let fresh_oid ctrl =
   let oid = ctrl.next_oid in
   ctrl.next_oid <- oid + 1;
@@ -20,6 +24,7 @@ let add ctrl kind ~rev_parent =
     }
   in
   Hashtbl.replace ctrl.objects oid obj;
+  Obs.Metrics.add (g_objects ctrl) 1;
   { a_ctrl = ctrl.ctrl_id; a_epoch = ctrl.epoch; a_oid = oid }
 
 let link_child' ~parent ~child =
@@ -87,7 +92,11 @@ let invalidate ctrl obj =
   go obj;
   List.rev !acc
 
-let remove ctrl oid = Hashtbl.remove ctrl.objects oid
+let remove ctrl oid =
+  if Hashtbl.mem ctrl.objects oid then begin
+    Hashtbl.remove ctrl.objects oid;
+    Obs.Metrics.add (g_objects ctrl) (-1)
+  end
 
 let live_count ctrl =
   Hashtbl.fold (fun _ o n -> if o.o_valid then n + 1 else n) ctrl.objects 0

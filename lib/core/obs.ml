@@ -1,0 +1,2 @@
+(* Local alias: [Obs.Span], [Obs.Metrics], ... *)
+include Fractos_obs

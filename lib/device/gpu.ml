@@ -1,6 +1,7 @@
 module Sim = Fractos_sim
 module Net = Fractos_net
 module Core = Fractos_core
+module Obs = Fractos_obs
 
 type kernel = {
   k_name : string;
@@ -57,9 +58,17 @@ let launch t ~name ~items ~bufs ~imms =
   match Hashtbl.find_opt t.kernels name with
   | None -> Error (Printf.sprintf "unknown kernel %S" name)
   | Some k ->
-    let duration = t.config.Net.Config.gpu_launch + k.k_cost ~items in
-    Sim.Resource.use t.engine ~duration;
-    k.k_run ~bufs ~imms;
+    let node = t.gnode.Net.Node.name in
+    let t0 = Sim.Engine.now () in
+    Obs.Span.with_ ~node ~name:"gpu.exec"
+      ~attrs:[ ("kernel", name); ("items", string_of_int items) ]
+      (fun () ->
+        let duration = t.config.Net.Config.gpu_launch + k.k_cost ~items in
+        Sim.Resource.use t.engine ~duration;
+        k.k_run ~bufs ~imms);
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram ~node "gpu.exec")
+      (Sim.Engine.now () - t0);
     Ok ()
 
 let utilization_busy t = Sim.Resource.busy_time t.engine

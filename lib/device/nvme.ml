@@ -1,5 +1,6 @@
 module Sim = Fractos_sim
 module Net = Fractos_net
+module Obs = Fractos_obs
 
 let block_size = 4096
 
@@ -88,20 +89,31 @@ let service t ~latency ~len =
   in
   if xfer > 0 then Sim.Resource.use t.bus ~duration:xfer
 
+let timed t name ~len f =
+  let node = t.dnode.Net.Node.name in
+  let t0 = Sim.Engine.now () in
+  let r =
+    Obs.Span.with_ ~node ~name
+      ~attrs:[ ("len", string_of_int len) ]
+      f
+  in
+  Obs.Metrics.observe (Obs.Metrics.histogram ~node name) (Sim.Engine.now () - t0);
+  r
+
 let read t vol ~off ~len =
   if off < 0 || len < 0 || off + len > vol.vol_size then Error "out of bounds"
-  else begin
-    service t ~latency:t.config.Net.Config.nvme_read_latency ~len;
-    Ok (store_read t ~pos:(vol.vol_base + off) ~len)
-  end
+  else
+    timed t "nvme.read" ~len (fun () ->
+        service t ~latency:t.config.Net.Config.nvme_read_latency ~len;
+        Ok (store_read t ~pos:(vol.vol_base + off) ~len))
 
 let write t vol ~off data =
   let len = Bytes.length data in
   if off < 0 || off + len > vol.vol_size then Error "out of bounds"
-  else begin
-    service t ~latency:t.config.Net.Config.nvme_write_latency ~len;
-    store_write t ~pos:(vol.vol_base + off) data;
-    Ok ()
-  end
+  else
+    timed t "nvme.write" ~len (fun () ->
+        service t ~latency:t.config.Net.Config.nvme_write_latency ~len;
+        store_write t ~pos:(vol.vol_base + off) data;
+        Ok ())
 
 let busy_time t = Sim.Resource.busy_time t.queue

@@ -8,6 +8,8 @@
       channels, resources, PRNG).
     - {!Net}: the data-center fabric (nodes, latency/bandwidth model,
       traffic stats, tracing, calibration {!Net.Config}).
+    - {!Obs}: request-level distributed tracing (spans, Chrome-trace
+      export) and the per-node metrics registry.
     - {!Device}: GPU and NVMe models.
     - The core OS ({!Controller}, {!Process}, {!Api}, {!Perms},
       {!Membuf}, {!Args}, {!Error}): capabilities, Memory/Request
@@ -34,6 +36,7 @@
 
 module Sim = Fractos_sim
 module Net = Fractos_net
+module Obs = Fractos_obs
 module Device = Fractos_device
 module Workloads = Fractos_workloads
 module Baselines = Fractos_baselines

@@ -38,18 +38,31 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
   let cfg = t.config in
   let on_network = not (Node.same_machine src dst) in
   Stats.record t.stats ~src ~dst ~cls ~bytes:size ~on_network;
+  Obs.Metrics.incr (Obs.Metrics.counter ~node:src.Node.name "net.tx_msgs");
+  Obs.Metrics.incr ~by:size
+    (Obs.Metrics.counter ~node:src.Node.name "net.tx_bytes");
+  let trace_event kind =
+    {
+      Trace.ev_time = Sim.Engine.now ();
+      ev_kind = kind;
+      ev_src = src.Node.name;
+      ev_dst = dst.Node.name;
+      ev_cls = cls;
+      ev_bytes = size;
+      ev_local = not on_network;
+    }
+  in
   (match t.tracer with
-  | Some record ->
-    record
-      {
-        Trace.ev_time = Sim.Engine.now ();
-        ev_src = src.Node.name;
-        ev_dst = dst.Node.name;
-        ev_cls = cls;
-        ev_bytes = size;
-        ev_local = not on_network;
-      }
+  | Some record -> record (trace_event Trace.Depart)
   | None -> ());
+  let deliver =
+    match t.tracer with
+    | None -> deliver
+    | Some record ->
+      fun () ->
+        record (trace_event Trace.Arrive);
+        deliver ()
+  in
   let wire_bytes = size + cfg.header_bytes in
   let base = base_latency t ~src ~dst in
   if on_network then begin

@@ -1,5 +1,8 @@
+type ev_kind = Depart | Arrive
+
 type event = {
   ev_time : Sim.Time.t;
+  ev_kind : ev_kind;
   ev_src : string;
   ev_dst : string;
   ev_cls : Stats.cls;
@@ -9,30 +12,38 @@ type event = {
 
 type recorder = {
   limit : int;
+  arrivals : bool;
   q : event Queue.t;
   mutable n_dropped : int;
 }
 
-let recorder ?(limit = 10_000) () = { limit; q = Queue.create (); n_dropped = 0 }
+let recorder ?(limit = 10_000) ?(arrivals = false) () =
+  { limit; arrivals; q = Queue.create (); n_dropped = 0 }
 
 let record r ev =
-  if Queue.length r.q >= r.limit then begin
-    ignore (Queue.pop r.q);
-    r.n_dropped <- r.n_dropped + 1
-  end;
-  Queue.add ev r.q
+  (* Arrive events are opt-in: a default recorder sees exactly one event
+     per message (the departure), as it always has. Ignored arrivals are
+     not counted as drops. *)
+  if ev.ev_kind = Depart || r.arrivals then begin
+    if Queue.length r.q >= r.limit then begin
+      ignore (Queue.pop r.q);
+      r.n_dropped <- r.n_dropped + 1
+    end;
+    Queue.add ev r.q
+  end
 
 let events r = List.of_seq (Queue.to_seq r.q)
 let count r = Queue.length r.q
 let dropped r = r.n_dropped
 
 let pp_event fmt ev =
-  Format.fprintf fmt "%-10s %-12s -> %-12s %-7s %6dB%s"
+  Format.fprintf fmt "%-10s %-12s -> %-12s %-7s %6dB%s%s"
     (Sim.Time.to_string ev.ev_time)
     ev.ev_src ev.ev_dst
     (match ev.ev_cls with Stats.Control -> "control" | Stats.Data -> "data")
     ev.ev_bytes
     (if ev.ev_local then "  (local)" else "")
+    (match ev.ev_kind with Depart -> "" | Arrive -> "  (arrive)")
 
 let pp_timeline ?(skip_local = false) ?limit fmt r =
   let evs = events r in

@@ -1,13 +1,21 @@
 (** Message-level tracing.
 
     When a tracer is installed on a {!Fabric.t}, every message send emits
-    an {!event} (at its departure instant). The bundled {!recorder} keeps
-    a bounded in-memory log that tools can render as a timeline — the
-    moral equivalent of a packet capture on the simulated fabric, used by
-    the CLI's [--trace] and handy when debugging request graphs. *)
+    a {!Depart} event at its departure instant and an {!Arrive} event when
+    it is handed to the destination endpoint. The bundled {!recorder}
+    keeps a bounded in-memory log that tools can render as a timeline —
+    the moral equivalent of a packet capture on the simulated fabric, used
+    by the CLI's [--trace] and handy when debugging request graphs.
+
+    By default a recorder keeps only departures (one event per message,
+    matching the historical output); pass [~arrivals:true] to also keep
+    {!Arrive} events. *)
+
+type ev_kind = Depart | Arrive
 
 type event = {
-  ev_time : Sim.Time.t;  (** departure instant *)
+  ev_time : Sim.Time.t;  (** departure or arrival instant, per [ev_kind] *)
+  ev_kind : ev_kind;
   ev_src : string;
   ev_dst : string;
   ev_cls : Stats.cls;
@@ -17,9 +25,10 @@ type event = {
 
 type recorder
 
-val recorder : ?limit:int -> unit -> recorder
+val recorder : ?limit:int -> ?arrivals:bool -> unit -> recorder
 (** A bounded recorder (default 10_000 events; older events are dropped
-    once full). *)
+    once full). [~arrivals] (default false) opts in to {!Arrive} events;
+    when off they are silently ignored, not counted as drops. *)
 
 val record : recorder -> event -> unit
 val events : recorder -> event list

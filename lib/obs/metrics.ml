@@ -1,0 +1,152 @@
+type counter = { mutable c_v : int }
+type gauge = { mutable g_v : int; mutable g_max : int }
+
+(* Log-bucketed histogram: [sub] buckets per octave, so bucket k holds
+   values in (2^((k-1)/sub), 2^(k/sub)] — ~19 % relative resolution at
+   sub = 4, enough for latency percentiles. Values are plain non-negative
+   ints; the convention throughout FractOS is nanoseconds. *)
+let sub = 4
+let n_buckets = 256 (* covers values up to 2^(255/4) — effectively all ints *)
+
+type histogram = {
+  mutable h_n : int;
+  mutable h_sum : float;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    let k =
+      int_of_float (Float.ceil (float_of_int sub *. Float.log2 (float_of_int v)))
+    in
+    if k < 0 then 0 else if k >= n_buckets then n_buckets - 1 else k
+
+(* Representative value of bucket k: the geometric midpoint of its
+   bounds (bucket 0 is exactly 1). *)
+let bucket_value k =
+  if k = 0 then 1.0
+  else Float.exp2 ((float_of_int k -. 0.5) /. float_of_int sub)
+
+(* ------------------------------------------------------------------ *)
+(* Registry: one process-global table per instrument family, keyed by
+   (node, name). Find-or-create so instrumentation sites stay one-liners. *)
+(* ------------------------------------------------------------------ *)
+
+type key = string * string
+
+let counters : (key, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (key, gauge) Hashtbl.t = Hashtbl.create 64
+let histograms : (key, histogram) Hashtbl.t = Hashtbl.create 64
+
+let intern tbl make ~node name =
+  let key = (node, name) in
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    Hashtbl.add tbl key v;
+    v
+
+let counter ~node name = intern counters (fun () -> { c_v = 0 }) ~node name
+let gauge ~node name = intern gauges (fun () -> { g_v = 0; g_max = 0 }) ~node name
+
+let histogram ~node name =
+  intern histograms
+    (fun () ->
+      { h_n = 0; h_sum = 0.; h_max = 0; h_buckets = Array.make n_buckets 0 })
+    ~node name
+
+let incr ?(by = 1) c = c.c_v <- c.c_v + by
+let counter_value c = c.c_v
+
+let set g v =
+  g.g_v <- v;
+  if v > g.g_max then g.g_max <- v
+
+let add g d = set g (g.g_v + d)
+let gauge_value g = g.g_v
+let gauge_max g = g.g_max
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum +. float_of_int v;
+  if v > h.h_max then h.h_max <- v;
+  let k = bucket_of v in
+  h.h_buckets.(k) <- h.h_buckets.(k) + 1
+
+let observations h = h.h_n
+let hist_max h = h.h_max
+let mean h = if h.h_n = 0 then Float.nan else h.h_sum /. float_of_int h.h_n
+
+let percentile h p =
+  if h.h_n = 0 then Float.nan
+  else begin
+    let p = Float.max 0. (Float.min 1. p) in
+    let rank = Float.max 1. (Float.round (p *. float_of_int h.h_n)) in
+    let rank = int_of_float rank in
+    let k = ref 0 and cum = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.h_buckets.(i);
+         if !cum >= rank then begin
+           k := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min (bucket_value !k) (float_of_int h.h_max)
+  end
+
+let p50 h = percentile h 0.50
+let p95 h = percentile h 0.95
+let p99 h = percentile h 0.99
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset histograms
+
+(* ------------------------------------------------------------------ *)
+(* Text dump                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let us ns = ns /. 1_000.
+
+let pp fmt () =
+  let open Format in
+  if Hashtbl.length counters > 0 then begin
+    fprintf fmt "counters:@.";
+    List.iter
+      (fun ((node, name) as key) ->
+        let c = Hashtbl.find counters key in
+        fprintf fmt "  %-10s %-28s %d@." node name c.c_v)
+      (sorted_keys counters)
+  end;
+  if Hashtbl.length gauges > 0 then begin
+    fprintf fmt "gauges:@.";
+    List.iter
+      (fun ((node, name) as key) ->
+        let g = Hashtbl.find gauges key in
+        fprintf fmt "  %-10s %-28s %d (peak %d)@." node name g.g_v g.g_max)
+      (sorted_keys gauges)
+  end;
+  if Hashtbl.length histograms > 0 then begin
+    fprintf fmt "latency histograms (us):@.";
+    List.iter
+      (fun ((node, name) as key) ->
+        let h = Hashtbl.find histograms key in
+        if h.h_n > 0 then
+          fprintf fmt
+            "  %-10s %-28s n=%-6d p50=%-9.2f p95=%-9.2f p99=%-9.2f max=%-9.2f \
+             mean=%.2f@."
+            node name h.h_n (us (p50 h)) (us (p95 h)) (us (p99 h))
+            (us (float_of_int h.h_max))
+            (us (mean h)))
+      (sorted_keys histograms)
+  end

@@ -1,0 +1,54 @@
+(** Per-node metrics registry: counters, gauges, log-bucketed latency
+    histograms with percentile accessors.
+
+    Instruments are interned by [(node, name)] in a process-global
+    registry, so instrumentation sites are one-liners:
+    [Metrics.incr (Metrics.counter ~node "ctrl.syscalls")]. Always on —
+    each operation is a hash lookup plus integer arithmetic. Histogram
+    values are plain non-negative ints; the FractOS convention is
+    nanoseconds (the dump prints microseconds). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : node:string -> string -> counter
+val gauge : node:string -> string -> gauge
+val histogram : node:string -> string -> histogram
+(** Find-or-create the named instrument for [node]. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> int -> unit
+(** Set the gauge's current value (its peak is tracked automatically). *)
+
+val add : gauge -> int -> unit
+(** Adjust the gauge by a delta (for incrementally-maintained sizes). *)
+
+val gauge_value : gauge -> int
+val gauge_max : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Record one value into ~19 %-resolution log buckets (4 per octave). *)
+
+val observations : histogram -> int
+val hist_max : histogram -> int
+val mean : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h p] for [p] in [0, 1]: the representative value of the
+    bucket holding the [p]-th ranked observation (geometric bucket
+    midpoint, capped at the exact observed maximum). [nan] when empty. *)
+
+val p50 : histogram -> float
+val p95 : histogram -> float
+val p99 : histogram -> float
+
+val reset : unit -> unit
+(** Drop every instrument (handles obtained before the reset keep
+    recording, but into detached instruments no longer in the dump). *)
+
+val pp : Format.formatter -> unit -> unit
+(** Text dump of the whole registry, grouped by instrument family and
+    sorted by (node, name). *)

@@ -1,0 +1,120 @@
+type id = int
+
+type kind = Complete | Instant
+
+type t = {
+  sp_id : id;
+  sp_parent : id;
+  sp_name : string;
+  sp_node : string;
+  sp_kind : kind;
+  sp_start : Sim.Time.t;
+  mutable sp_end : Sim.Time.t;
+  mutable sp_finished : bool;
+  mutable sp_attrs : (string * string) list;
+}
+
+(* One global collector per process: engines do not nest and runs are
+   deterministic, so a singleton keeps every instrumentation site free of
+   plumbing. Disabled (the default) every entry point is a cheap bool
+   check. *)
+let enabled_flag = ref false
+let limit = ref 500_000
+let next_id = ref 1
+let collected : t Queue.t = Queue.create ()
+let index : (int, t) Hashtbl.t = Hashtbl.create 1024
+let n_dropped = ref 0
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let set_limit n = limit := max 1 n
+
+let reset () =
+  Queue.clear collected;
+  Hashtbl.reset index;
+  next_id := 1;
+  n_dropped := 0
+
+let current () = Sim.Engine.get_ctx ()
+
+let add kind ?parent ?(attrs = []) ?(node = "") ~name () =
+  if not !enabled_flag then 0
+  else if Queue.length collected >= !limit then begin
+    incr n_dropped;
+    0
+  end
+  else begin
+    let parent =
+      match parent with Some p -> p | None -> Sim.Engine.get_ctx ()
+    in
+    let id = !next_id in
+    incr next_id;
+    let now = Sim.Engine.now () in
+    let sp =
+      {
+        sp_id = id;
+        sp_parent = parent;
+        sp_name = name;
+        sp_node = node;
+        sp_kind = kind;
+        sp_start = now;
+        sp_end = now;
+        sp_finished = (kind = Instant);
+        sp_attrs = attrs;
+      }
+    in
+    Queue.add sp collected;
+    Hashtbl.replace index id sp;
+    id
+  end
+
+let start ?parent ?attrs ?node ~name () =
+  add Complete ?parent ?attrs ?node ~name ()
+
+let instant ?attrs ?node ~name () =
+  ignore (add Instant ?attrs ?node ~name ())
+
+let set_attr id k v =
+  match Hashtbl.find_opt index id with
+  | Some sp -> sp.sp_attrs <- (k, v) :: sp.sp_attrs
+  | None -> ()
+
+let finish ?(attrs = []) id =
+  match Hashtbl.find_opt index id with
+  | None -> ()
+  | Some sp ->
+    if not sp.sp_finished then begin
+      sp.sp_finished <- true;
+      sp.sp_end <- Sim.Engine.now ();
+      if attrs <> [] then sp.sp_attrs <- attrs @ sp.sp_attrs
+    end
+
+let with_ ?attrs ?node ~name f =
+  if not !enabled_flag then f ()
+  else begin
+    let id = start ?attrs ?node ~name () in
+    let saved = Sim.Engine.get_ctx () in
+    Sim.Engine.set_ctx id;
+    Fun.protect
+      ~finally:(fun () ->
+        Sim.Engine.set_ctx saved;
+        finish id)
+      f
+  end
+
+let all () = List.of_seq (Queue.to_seq collected)
+let count () = Queue.length collected
+let dropped () = !n_dropped
+let find = Hashtbl.find_opt index
+
+let pp_span fmt sp =
+  Format.fprintf fmt "[%d<-%d] %-10s %-24s %s +%s%s" sp.sp_id sp.sp_parent
+    (if sp.sp_node = "" then "-" else sp.sp_node)
+    sp.sp_name
+    (Sim.Time.to_string sp.sp_start)
+    (Sim.Time.to_string (sp.sp_end - sp.sp_start))
+    (match sp.sp_attrs with
+    | [] -> ""
+    | attrs ->
+      "  "
+      ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))

@@ -57,6 +57,10 @@ let handle_create t svc d =
   | _ -> Svc.reply svc d ~status:2 ()
 
 let handle_read t svc d =
+  Obs.Span.with_
+    ~node:(Svc.proc svc).State.pnode.Net.Node.name
+    ~name:"adaptor.blk.read"
+  @@ fun () ->
   match (d.State.d_imms, d.State.d_caps) with
   | [ vol; off; len ], (dst_mem :: next :: _ as caps) -> (
     let vol = Args.to_int vol
@@ -81,6 +85,10 @@ let handle_read t svc d =
     if List.length caps >= 3 then fail_cont svc caps 4
 
 let handle_write t svc d =
+  Obs.Span.with_
+    ~node:(Svc.proc svc).State.pnode.Net.Node.name
+    ~name:"adaptor.blk.write"
+  @@ fun () ->
   match (d.State.d_imms, d.State.d_caps) with
   | [ vol; off; len ], (src_mem :: next :: _ as caps) -> (
     let vol = Args.to_int vol

@@ -70,6 +70,10 @@ let handle_load _t svc d =
 (* Continuation-style kernel invocation: no reply; success or error is
    signaled by invoking one of the two Request arguments verbatim. *)
 let handle_invoke t svc d =
+  Obs.Span.with_
+    ~node:(Svc.proc svc).State.pnode.Net.Node.name
+    ~name:"adaptor.gpu.invoke"
+  @@ fun () ->
   let fail_to cont code =
     match
       Api.request_derive (Svc.proc svc) cont ~imms:[ Args.of_int code ] ()

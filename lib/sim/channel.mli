@@ -3,7 +3,12 @@
     Channels model the request/response queues that connect FractOS
     Processes to their Controllers: senders never block, receivers block
     until a message is available. Delivery order is FIFO and, combined with
-    the engine's deterministic scheduling, reproducible. *)
+    the engine's deterministic scheduling, reproducible.
+
+    Each message additionally carries the sender's fiber-local trace
+    context ({!Engine.get_ctx}); {!recv} and {!try_recv} adopt it in the
+    receiving fiber, so distributed traces follow requests across the
+    queues that connect layers. *)
 
 type 'a t
 

@@ -7,6 +7,7 @@ type t = {
   mutable fibers : int;
   mutable failure : exn option;
   mutable main_done : bool;
+  mutable ctx : int; (* fiber-local trace context, 0 = none *)
 }
 
 let current : t option ref = ref None
@@ -28,7 +29,11 @@ type _ Effect.t +=
   | Suspend : ('a resumer -> unit) -> 'a Effect.t
 
 (* Each fiber runs under this deep handler. Continuations are one-shot;
-   resumers guard against double resumption with a [used] flag. *)
+   resumers guard against double resumption with a [used] flag. The trace
+   context [t.ctx] is fiber-local: it is captured whenever a fiber
+   suspends (or a closure is scheduled) and restored right before the
+   continuation resumes, so each fiber keeps its own ambient context no
+   matter how events interleave. *)
 let exec t f =
   let open Effect.Deep in
   t.fibers <- t.fibers + 1;
@@ -45,20 +50,28 @@ let exec t f =
             Some
               (fun (k : (a, unit) continuation) ->
                 let d = if d < 0 then 0 else d in
-                schedule_at t ~time:(t.now + d) (fun () -> continue k ()))
+                let ctx = t.ctx in
+                schedule_at t ~time:(t.now + d) (fun () ->
+                    t.ctx <- ctx;
+                    continue k ()))
           | Suspend setup ->
             Some
               (fun (k : (a, unit) continuation) ->
                 let used = ref false in
+                let ctx = t.ctx in
                 let resume v =
                   if not !used then begin
                     used := true;
-                    schedule_at t ~time:t.now (fun () -> continue k v)
+                    schedule_at t ~time:t.now (fun () ->
+                        t.ctx <- ctx;
+                        continue k v)
                   end
                 and abort e =
                   if not !used then begin
                     used := true;
-                    schedule_at t ~time:t.now (fun () -> discontinue k e)
+                    schedule_at t ~time:t.now (fun () ->
+                        t.ctx <- ctx;
+                        discontinue k e)
                   end
                 in
                 setup { resume; abort })
@@ -69,7 +82,7 @@ let run ?(name = "main") main =
   if !current <> None then failwith "Fractos_sim.Engine: engines do not nest";
   let t =
     { heap = Heap.create (); now = 0; seq = 0; fibers = 0; failure = None;
-      main_done = false }
+      main_done = false; ctx = 0 }
   in
   current := Some t;
   let result = ref None in
@@ -111,13 +124,22 @@ let sleep_until time =
 let spawn ?name f =
   ignore name;
   let t = get () in
-  schedule_at t ~time:t.now (fun () -> exec t f)
+  let ctx = t.ctx in
+  schedule_at t ~time:t.now (fun () ->
+      t.ctx <- ctx;
+      exec t f)
 let yield () = sleep 0
 let suspend setup = Effect.perform (Suspend setup)
 
 let schedule d f =
   let t = get () in
   let d = if d < 0 then 0 else d in
-  schedule_at t ~time:(t.now + d) f
+  let ctx = t.ctx in
+  schedule_at t ~time:(t.now + d) (fun () ->
+      t.ctx <- ctx;
+      f ())
 
 let fiber_count () = (get ()).fibers
+
+let get_ctx () = match !current with Some t -> t.ctx | None -> 0
+let set_ctx c = match !current with Some t -> t.ctx <- c | None -> ()

@@ -66,3 +66,20 @@ val schedule : Time.t -> (unit -> unit) -> unit
 
 val fiber_count : unit -> int
 (** Number of fibers spawned so far in this run (diagnostic). *)
+
+(** {2 Fiber-local trace context}
+
+    An opaque integer (0 = none) carried implicitly by each fiber, used by
+    the observability layer ([Fractos_obs.Span]) to parent spans. The
+    context follows control flow: it survives [sleep]/[suspend], is
+    inherited by [spawn]ed fibers and [schedule]d events (they capture the
+    spawning fiber's context), and {!Channel} additionally carries the
+    sender's context with each message so traces follow requests across
+    the fabric. *)
+
+val get_ctx : unit -> int
+(** Current fiber's trace context; 0 outside a running engine. *)
+
+val set_ctx : int -> unit
+(** Replace the current fiber's trace context (no-op outside an engine).
+    Callers are expected to save and restore around scoped use. *)

@@ -279,6 +279,23 @@ let test_trace_bounded () =
       check_int "kept at most limit" 5 (Trace.count rec_);
       check_int "dropped the rest" 7 (Trace.dropped rec_))
 
+let test_trace_arrivals () =
+  with_fabric (fun fab ->
+      let a, b, _ = three_nodes fab in
+      let rec_ = Trace.recorder ~arrivals:true () in
+      Fabric.set_tracer fab (Some (Trace.record rec_));
+      Fabric.transfer fab ~src:a ~dst:b ~cls:Stats.Data ~size:100 ();
+      Fabric.set_tracer fab None;
+      match Trace.events rec_ with
+      | [ dep; arr ] ->
+        check_bool "depart first" true (dep.Trace.ev_kind = Trace.Depart);
+        check_bool "arrive second" true (arr.Trace.ev_kind = Trace.Arrive);
+        check_bool "arrival is later" true (arr.Trace.ev_time > dep.Trace.ev_time);
+        Alcotest.(check string) "same src" dep.Trace.ev_src arr.Trace.ev_src;
+        check_int "same bytes" dep.Trace.ev_bytes arr.Trace.ev_bytes;
+        check_int "no drops" 0 (Trace.dropped rec_)
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
 (* ------------------------------------------------------------------ *)
 (* Utilization                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -388,6 +405,7 @@ let () =
         [
           Alcotest.test_case "records sends" `Quick test_trace_records_sends;
           Alcotest.test_case "bounded" `Quick test_trace_bounded;
+          Alcotest.test_case "arrivals opt-in" `Quick test_trace_arrivals;
         ] );
       ( "utilization",
         [

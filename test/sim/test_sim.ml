@@ -728,6 +728,62 @@ let prop_semaphore_bound =
 
 let qtest t = QCheck_alcotest.to_alcotest t
 
+(* ------------------------------------------------------------------ *)
+(* Fiber-local trace context                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctx_survives_sleep () =
+  Engine.run (fun () ->
+      Engine.set_ctx 7;
+      Engine.sleep 100;
+      check_int "kept across sleep" 7 (Engine.get_ctx ());
+      Engine.spawn (fun () ->
+          Engine.set_ctx 42;
+          Engine.sleep 50);
+      Engine.sleep 200;
+      check_int "not clobbered by other fibers" 7 (Engine.get_ctx ()))
+
+let test_ctx_spawn_inherits () =
+  Engine.run (fun () ->
+      Engine.set_ctx 5;
+      let seen = ref 0 in
+      Engine.spawn (fun () ->
+          seen := Engine.get_ctx ();
+          Engine.set_ctx 99);
+      Engine.sleep 10;
+      check_int "child inherited" 5 !seen;
+      check_int "parent unchanged" 5 (Engine.get_ctx ()))
+
+let test_ctx_schedule_inherits () =
+  Engine.run (fun () ->
+      Engine.set_ctx 6;
+      let seen = ref 0 in
+      Engine.schedule 100 (fun () -> seen := Engine.get_ctx ());
+      Engine.set_ctx 1;
+      Engine.sleep 200;
+      check_int "callback saw scheduling ctx" 6 !seen)
+
+let test_ctx_channel_adopts_sender () =
+  Engine.run (fun () ->
+      let ch = Channel.create () in
+      Engine.spawn (fun () ->
+          Engine.set_ctx 3;
+          Channel.send ch "m");
+      Engine.set_ctx 9;
+      let _ = Channel.recv ch in
+      check_int "receiver adopted sender ctx" 3 (Engine.get_ctx ()))
+
+let test_ctx_ivar_preserves_awaiter () =
+  Engine.run (fun () ->
+      let iv = Ivar.create () in
+      Engine.spawn (fun () ->
+          Engine.set_ctx 8;
+          Engine.sleep 10;
+          Ivar.fill iv ());
+      Engine.set_ctx 4;
+      Ivar.await iv;
+      check_int "awaiter keeps its own ctx" 4 (Engine.get_ctx ()))
+
 let () =
   Alcotest.run "fractos_sim"
     [
@@ -813,6 +869,17 @@ let () =
           Alcotest.test_case "fiber count" `Quick test_engine_fiber_count;
           Alcotest.test_case "ivar try_fill/peek" `Quick
             test_ivar_try_fill_and_peek;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "survives sleep" `Quick test_ctx_survives_sleep;
+          Alcotest.test_case "spawn inherits" `Quick test_ctx_spawn_inherits;
+          Alcotest.test_case "schedule inherits" `Quick
+            test_ctx_schedule_inherits;
+          Alcotest.test_case "channel adopts sender" `Quick
+            test_ctx_channel_adopts_sender;
+          Alcotest.test_case "ivar preserves awaiter" `Quick
+            test_ctx_ivar_preserves_awaiter;
         ] );
       ( "waitgroup",
         [
