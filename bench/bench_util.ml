@@ -12,21 +12,40 @@ module Obs = Fractos_obs
 let csv_dir : string option ref = ref None
 
 (* Optional Chrome traces: when [trace_dir] is set (bench main's --trace
-   flag), experiments wrapped in [with_experiment_trace] write
+   flag), experiments wrapped in [with_experiment] write
    <dir>/<name>.json, loadable in Perfetto. *)
 let trace_dir : string option ref = ref None
 
-let with_experiment_trace name f =
-  match !trace_dir with
-  | None -> f ()
-  | Some dir ->
+(* Optional critical-path breakdowns: when [breakdown_dir] is set (bench
+   main's --breakdown flag), experiments write <dir>/<name>.csv with one
+   row per traced root span — the disaggregation-tax attribution of that
+   experiment's requests (see Obs.Analysis). *)
+let breakdown_dir : string option ref = ref None
+
+let with_experiment name f =
+  (* fresh metrics per experiment: counters, gauges and histograms must
+     not bleed across experiments (handles stay interned — see
+     Obs.Metrics.reset) *)
+  Obs.Metrics.reset ();
+  if !trace_dir = None && !breakdown_dir = None then f ()
+  else begin
     Obs.Span.reset ();
     Obs.Span.set_enabled true;
     Fun.protect
       ~finally:(fun () ->
         Obs.Span.set_enabled false;
-        Obs.Export.write_chrome_trace (Filename.concat dir (name ^ ".json")))
+        (match !trace_dir with
+        | Some dir ->
+          Obs.Export.write_chrome_trace (Filename.concat dir (name ^ ".json"))
+        | None -> ());
+        match !breakdown_dir with
+        | Some dir ->
+          Obs.Analysis.write_csv
+            (Filename.concat dir (name ^ ".csv"))
+            (Obs.Analysis.analyze ())
+        | None -> ())
       f
+  end
 
 let current_slug = ref "untitled"
 let table_counter = ref 0

@@ -120,6 +120,17 @@ let () =
     | [] -> List.rev acc
   in
   let args = extract_trace [] args in
+  (* --breakdown DIR: write a critical-path/tax-breakdown CSV per
+     experiment *)
+  let rec extract_breakdown acc = function
+    | "--breakdown" :: dir :: rest ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Bench_util.breakdown_dir := Some dir;
+      extract_breakdown acc rest
+    | a :: rest -> extract_breakdown (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_breakdown [] args in
   if List.mem "--list" args then
     List.iter (fun (n, _) -> print_endline n) experiments
   else begin
@@ -136,6 +147,6 @@ let () =
               exit 1)
           names
     in
-    List.iter (fun (n, f) -> Bench_util.with_experiment_trace n f) selected;
+    List.iter (fun (n, f) -> Bench_util.with_experiment n f) selected;
     if (not no_bechamel) && args = [] then run_bechamel ()
   end

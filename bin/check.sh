@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo health check: build, tests, formatting (if ocamlformat is
-# installed) and a smoke run that must produce a valid Chrome trace.
-# Run from the repo root: ./bin/check.sh
+# installed) and the smoke runs (trace / breakdown / audit; see
+# bin/smoke.sh). Run from the repo root: ./bin/check.sh
+# The same checks are wired as a dune alias: dune build @check
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,27 +20,6 @@ else
   echo "== skipping @fmt (ocamlformat not installed)"
 fi
 
-echo "== smoke: fractos run --trace-json"
-trace=$(mktemp /tmp/fractos-trace.XXXXXX.json)
-trap 'rm -f "$trace"' EXIT
-dune exec bin/fractos.exe -- run -n 2 --trace-json "$trace" >/dev/null
-
-if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool "$trace" >/dev/null
-  python3 - "$trace" <<'EOF'
-import json, sys
-d = json.load(open(sys.argv[1]))
-evs = d["traceEvents"]
-assert evs, "empty traceEvents"
-names = {e.get("name", "") for e in evs}
-for want in ("ctrl.invoke", "sys.request_invoke"):
-    assert want in names, f"missing span {want!r} in trace"
-EOF
-else
-  # Crude fallback: the file must at least open a trace-event array and
-  # contain the invoke spans.
-  grep -q '"traceEvents"' "$trace"
-  grep -q '"ctrl.invoke"' "$trace"
-fi
+sh bin/smoke.sh _build/default/bin/fractos.exe _build/default/bench/main.exe
 
 echo "== OK"

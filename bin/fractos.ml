@@ -74,11 +74,49 @@ let metrics =
         ~doc:"Print the per-node metrics registry (counters, gauges, \
               syscall latency percentiles) after the run.")
 
+let breakdown =
+  Arg.(
+    value & flag
+    & info [ "breakdown" ]
+        ~doc:"Print the per-request critical-path disaggregation-tax \
+              breakdown (ctrl/fabric/queue/device/client/idle) after the \
+              run.")
+
+let audit =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:"Record the capability audit log (mint/delegate/invoke/\
+              revoke/drop lifecycle events) and print a summary plus the \
+              lineage of a revoked capability after the run.")
+
+let openmetrics =
+  Arg.(
+    value & opt (some string) None
+    & info [ "openmetrics" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry to $(docv) in OpenMetrics/\
+              Prometheus text exposition format.")
+
+let hist_csv =
+  Arg.(
+    value & opt (some string) None
+    & info [ "hist-csv" ] ~docv:"FILE"
+        ~doc:"Write per-histogram summary rows (count/mean/percentiles, \
+              nanoseconds) to $(docv) as CSV.")
+
 (* ---------------- run ---------------------------------------------- *)
 
-let run_cmd placement batch requests seed trace trace_json metrics =
+let run_cmd placement batch requests seed trace trace_json metrics breakdown
+    audit openmetrics hist_csv =
   let img_size = 4096 and n_images = 4096 in
   Obs.Metrics.reset ();
+  if audit then begin
+    (* from the very start: the lineage of a capability begins with mint
+       and grant events during cluster setup *)
+    Obs.Audit.reset ();
+    Obs.Audit.set_capacity (1 lsl 20);
+    Obs.Audit.set_enabled true
+  end;
   Tb.run (fun tb ->
       let recorder = Fractos_net.Trace.recorder () in
       let c = Cluster.make ~placement ~extent_size:(n_images * img_size) tb in
@@ -98,7 +136,7 @@ let run_cmd placement batch requests seed trace trace_json metrics =
         requests batch;
       Net.Stats.reset (Cluster.stats c);
       (* trace the request phase only: setup (db population) would dwarf it *)
-      if trace_json <> None then begin
+      if trace_json <> None || breakdown then begin
         Obs.Span.reset ();
         Obs.Span.set_enabled true
       end;
@@ -130,6 +168,21 @@ let run_cmd placement batch requests seed trace trace_json metrics =
       Format.printf "@.%a@." Net.Stats.pp_census
         (Net.Stats.census (Cluster.stats c));
       if metrics then Format.printf "@.%a" Obs.Metrics.pp ();
+      (match openmetrics with
+      | Some path ->
+        Obs.Openmetrics.write path;
+        Format.printf "@.wrote OpenMetrics exposition to %s@." path
+      | None -> ());
+      (match hist_csv with
+      | Some path ->
+        Obs.Openmetrics.write_histograms_csv path;
+        Format.printf "@.wrote histogram summary CSV to %s@." path
+      | None -> ());
+      if breakdown then begin
+        Obs.Span.set_enabled false;
+        Format.printf "@.%a" Obs.Analysis.pp_report
+          (Obs.Analysis.analyze ~root_name:"request" ())
+      end;
       (match trace_json with
       | Some path -> (
         Obs.Span.set_enabled false;
@@ -140,6 +193,45 @@ let run_cmd placement batch requests seed trace trace_json metrics =
           Format.eprintf "@.fractos: cannot write trace: %s@." msg;
           exit 1)
       | None -> ());
+      if audit then begin
+        (* teardown: revoke the app's FS service capability, so the log
+           closes with the full delegate -> invoke -> revoke lineage *)
+        ignore (Core.Api.cap_revoke (Svc.proc c.Cluster.app) c.Cluster.fs_cap);
+        Obs.Audit.set_enabled false;
+        let module Au = Obs.Audit in
+        Format.printf "@.capability audit log: %d events retained (%d evicted)@."
+          (Au.count ()) (Au.evicted ());
+        List.iter
+          (fun (k, n) -> Format.printf "  %-18s %d@." (Au.kind_name k) n)
+          (Au.summary ());
+        let revoked =
+          List.filter
+            (fun (e : Au.event) -> e.Au.au_kind = Au.Revoke)
+            (Au.events ())
+        in
+        let interesting =
+          List.filter
+            (fun (e : Au.event) ->
+              let l = Au.lineage ~ctrl:e.Au.au_ctrl ~oid:e.Au.au_oid in
+              List.exists (fun (x : Au.event) -> x.Au.au_kind = Au.Delegate) l
+              && List.exists (fun (x : Au.event) -> x.Au.au_kind = Au.Invoke) l)
+            revoked
+        in
+        match (interesting, revoked) with
+        | e :: _, _ | [], e :: _ ->
+          Format.printf "@.lineage of obj(c%d.e%d.%d):@." e.Au.au_ctrl
+            e.Au.au_epoch e.Au.au_oid;
+          let l = Au.lineage ~ctrl:e.Au.au_ctrl ~oid:e.Au.au_oid in
+          let n = List.length l in
+          List.iteri
+            (fun i ev ->
+              if i < 10 || i >= n - 5 then
+                Format.printf "  %a@." Au.pp_event ev
+              else if i = 10 then
+                Format.printf "  ... (%d more events) ...@." (n - 15))
+            l
+        | [], [] -> Format.printf "@.no revocation events recorded@."
+      end;
       match trace with
       | Some n ->
         Format.printf "@.first %d network messages:@." n;
@@ -369,7 +461,7 @@ let run_t =
     (Cmd.info "run" ~doc:"Run the end-to-end face-verification scenario")
     Term.(
       const run_cmd $ placement $ batch $ requests $ seed $ trace $ trace_json
-      $ metrics)
+      $ metrics $ breakdown $ audit $ openmetrics $ hist_csv)
 
 let primitives_t =
   Cmd.v

@@ -20,6 +20,17 @@ let span ctrl ?(attrs = fun () -> []) name f =
     Obs.Span.with_ ~node:(node_name ctrl) ~attrs:(attrs ()) ~name f
   else f ()
 
+(* Capability audit log (see Obs.Audit): one event per capability
+   lifecycle transition, keyed by the object's global address. Off by
+   default; when disabled this is one branch and the detail thunk is
+   never evaluated. *)
+let audit ctrl kind ?pid ?cid ?detail addr =
+  if Obs.Audit.enabled () then
+    Obs.Audit.record ~node:(node_name ctrl) ~kind ~ctrl:addr.a_ctrl
+      ~epoch:addr.a_epoch ~oid:addr.a_oid ?pid ?cid
+      ?detail:(match detail with Some f -> Some (f ()) | None -> None)
+      ()
+
 (* Charge controller software cost: occupies one of the controller's two
    cores for the class-scaled duration (queueing under load is implicit). *)
 let charge ctrl units =
@@ -79,8 +90,10 @@ let space_of ctrl (proc : proc) =
 (* Insert a capability, enforcing the per-Process quota and — under the
    track_delegations ablation — notifying the remote owner's reference
    count (on the critical path: exactly the cost the paper's design
-   avoids). *)
-let insert_cap ctrl space addr ~counts =
+   avoids). [op] records how the capability came to exist (Mint for a
+   freshly created object, Delegate for delegation-on-invoke / grant) in
+   the audit log. *)
+let insert_cap ?audit_detail ctrl space addr ~counts ~op =
   let cfg = config ctrl in
   if Hashtbl.length space.cs_caps >= cfg.capspace_quota then
     Error Error.Quota_exceeded
@@ -88,8 +101,14 @@ let insert_cap ctrl space addr ~counts =
     let cid = space.cs_next in
     space.cs_next <- cid + 1;
     Hashtbl.replace space.cs_caps cid
-      { e_addr = addr; e_delegator = false; e_counts = counts };
+      {
+        e_addr = addr;
+        e_delegator = false;
+        e_counts = counts;
+        e_born = Sim.Engine.now ();
+      };
     Obs.Metrics.add (g_captable ctrl) 1;
+    audit ctrl op ~pid:space.cs_proc.pid ~cid ?detail:audit_detail addr;
     if cfg.track_delegations then
       if addr.a_ctrl = ctrl.ctrl_id then (
         match Hashtbl.find_opt ctrl.objects addr.a_oid with
@@ -175,6 +194,11 @@ let apply_decrement ctrl addr =
 let drop_entry ctrl space cid (entry : entry) =
   Hashtbl.remove space.cs_caps cid;
   Obs.Metrics.add (g_captable ctrl) (-1);
+  audit ctrl Obs.Audit.Drop ~pid:space.cs_proc.pid ~cid
+    ~detail:(fun () ->
+      Printf.sprintf "age=%s"
+        (Sim.Time.to_string (Sim.Engine.now () - entry.e_born)))
+    entry.e_addr;
   if (config ctrl).track_delegations then begin
     let addr = entry.e_addr in
     if addr.a_ctrl = ctrl.ctrl_id then (
@@ -238,6 +262,14 @@ let cleanup_broadcast ctrl addrs =
 let invalidate_at_owner ctrl obj =
   let invalidated = Objects.invalidate ctrl obj in
   charge ctrl [ (Net.Cost.Revoke, List.length invalidated) ];
+  (* one Revoke event per invalidated object, subtree root first (the
+     order Objects.invalidate walks the revocation tree) *)
+  List.iter
+    (fun o ->
+      audit ctrl Obs.Audit.Revoke
+        ~detail:(fun () -> Printf.sprintf "subtree_root=%d" obj.o_id)
+        { a_ctrl = ctrl.ctrl_id; a_epoch = ctrl.epoch; a_oid = o.o_id })
+    invalidated;
   List.iter
     (fun o ->
       List.iter
@@ -341,7 +373,10 @@ let deliver ctrl (r : req) imms caps rr =
             | Error _ as e -> e
             | Ok cids -> (
               let counts = if monitored then Some addr else None in
-              match insert_cap ctrl space addr ~counts with
+              match
+                insert_cap ctrl space addr ~counts ~op:Obs.Audit.Delegate
+                  ~audit_detail:(fun () -> "invoke tag=" ^ r.r_tag)
+              with
               | Error _ as e -> e
               | Ok cid ->
                 if monitored then
@@ -379,6 +414,7 @@ let rec do_invoke ctrl addr suffix_imms suffix_caps rr =
     ~attrs:(fun () -> [ ("oid", string_of_int addr.a_oid) ])
     "ctrl.invoke"
   @@ fun () ->
+  audit ctrl Obs.Audit.Invoke addr;
   charge ctrl [ (Net.Cost.Lookup, 1) ];
   match Objects.find ctrl addr with
   | Error e -> rreply_opt ctrl rr (Error e)
@@ -601,7 +637,9 @@ let sys_mem_create ctrl ~caller buf ~off ~len perms (reply : int reply) =
           { m_buf = buf; m_off = off; m_len = len; m_perms = perms;
             m_owner = caller }
       in
-      reply_to ctrl reply (insert_cap ctrl space addr ~counts:None)
+      reply_to ctrl reply
+        (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Mint
+           ~audit_detail:(fun () -> "memory perms=" ^ Perms.to_string perms))
     end
 
 let sys_mem_diminish ctrl ~caller cid ~off ~len ~drop (reply : int reply) =
@@ -621,7 +659,10 @@ let sys_mem_diminish ctrl ~caller cid ~off ~len ~drop (reply : int reply) =
       match space_of ctrl caller with
       | Error e -> reply_to ctrl reply (Error e)
       | Ok space ->
-        reply_to ctrl reply (insert_cap ctrl space child_addr ~counts:None)))
+        reply_to ctrl reply
+          (insert_cap ctrl space child_addr ~counts:None ~op:Obs.Audit.Mint
+             ~audit_detail:(fun () ->
+               "memory diminish drop=" ^ Perms.to_string drop))))
 
 let sys_mem_copy ctrl ~caller ~src ~dst (reply : unit reply) =
   let cfg = config ctrl in
@@ -711,7 +752,9 @@ let sys_req_create ctrl ~caller ~tag ~imms ~caps (reply : int reply) =
             r_parent = None;
           }
       in
-      reply_to ctrl reply (insert_cap ctrl space addr ~counts:None))
+      reply_to ctrl reply
+        (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Mint
+           ~audit_detail:(fun () -> "request tag=" ^ tag)))
 
 let sys_req_derive ctrl ~caller ~parent ~imms ~caps (reply : int reply) =
   charge ctrl
@@ -732,7 +775,11 @@ let sys_req_derive ctrl ~caller ~parent ~imms ~caps (reply : int reply) =
             r_parent = Some parent_entry.e_addr;
           }
       in
-      reply_to ctrl reply (insert_cap ctrl space addr ~counts:None))
+      reply_to ctrl reply
+        (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Mint
+           ~audit_detail:(fun () ->
+             Printf.sprintf "request derive parent_oid=%d"
+               parent_entry.e_addr.a_oid)))
 
 let sys_req_invoke ctrl ~caller cid (reply : unit reply) =
   charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
@@ -769,7 +816,9 @@ let sys_revtree_create ctrl ~caller cid (reply : int reply) =
     match res with
     | Error e -> reply_to ctrl reply (Error e)
     | Ok child_addr ->
-      reply_to ctrl reply (insert_cap ctrl space child_addr ~counts:None))
+      reply_to ctrl reply
+        (insert_cap ctrl space child_addr ~counts:None ~op:Obs.Audit.Mint
+           ~audit_detail:(fun () -> "revtree")))
 
 let sys_revoke ctrl ~caller cid (reply : unit reply) =
   charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
@@ -817,7 +866,11 @@ let sys_mon_delegate ctrl ~caller cid ~cb (reply : unit reply) =
         ~make_msg:(fun rr ->
           P_mon_delegate { addr = entry.e_addr; watcher = caller; cb; reply = rr })
     in
-    (match res with Ok () -> entry.e_delegator <- true | Error _ -> ());
+    (match res with
+    | Ok () ->
+      entry.e_delegator <- true;
+      audit ctrl Obs.Audit.Monitor_delegate ~pid:caller.pid ~cid entry.e_addr
+    | Error _ -> ());
     reply_to ctrl reply res
 
 let sys_mon_receive ctrl ~caller cid ~cb (reply : unit reply) =
@@ -837,6 +890,10 @@ let sys_mon_receive ctrl ~caller cid ~cb (reply : unit reply) =
         ~make_msg:(fun rr ->
           P_mon_receive { addr = entry.e_addr; watcher = caller; cb; reply = rr })
     in
+    (match res with
+    | Ok () ->
+      audit ctrl Obs.Audit.Monitor_receive ~pid:caller.pid ~cid entry.e_addr
+    | Error _ -> ());
     reply_to ctrl reply res
 
 let dispatch_syscall ctrl msg =
@@ -1154,7 +1211,10 @@ let grant ctrl proc addr =
   match space_of ctrl proc with
   | Error _ -> invalid_arg "Controller.grant: process not attached"
   | Ok space -> (
-    match insert_cap ctrl space addr ~counts:None with
+    match
+      insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Delegate
+        ~audit_detail:(fun () -> "grant")
+    with
     | Ok cid -> cid
     | Error e ->
       invalid_arg ("Controller.grant: " ^ Error.to_string e))

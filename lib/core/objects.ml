@@ -53,7 +53,15 @@ let find ctrl addr =
   if not ctrl.running then Error Error.Ctrl_unreachable
   else if addr.a_ctrl <> ctrl.ctrl_id then
     Error (Error.Bad_argument "address not owned by this controller")
-  else if addr.a_epoch <> ctrl.epoch then Error Error.Stale
+  else if addr.a_epoch <> ctrl.epoch then begin
+    (* stale-epoch rejection: the capability predates this controller's
+       restart — the audit log records the attempted use *)
+    Obs.Audit.record ~node:ctrl.cnode.Net.Node.name ~kind:Obs.Audit.Stale_reject
+      ~ctrl:addr.a_ctrl ~epoch:addr.a_epoch ~oid:addr.a_oid
+      ~detail:(Printf.sprintf "current_epoch=%d" ctrl.epoch)
+      ();
+    Error Error.Stale
+  end
   else
     match Hashtbl.find_opt ctrl.objects addr.a_oid with
     | None -> Error Error.Revoked (* cleaned-up tombstone *)

@@ -20,3 +20,7 @@ val drop : t -> drop:t -> t
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} ("rw" / "r-" / "-w" / "--"); [None] on any
+    other input. Used to round-trip permissions through the audit log. *)

@@ -61,11 +61,14 @@ and capspace = {
 (* One capability: an index in a Process's space resolving to an object
    address. [e_delegator] is set by monitor_delegate on the owner's own
    capability; [e_counts] marks a delegatee capability that must decrement
-   the delegator's child counter when it disappears. *)
+   the delegator's child counter when it disappears. [e_born] is the
+   simulated instant the entry was inserted — provenance for the audit
+   log, which reports a capability's lifetime when it is dropped. *)
 and entry = {
   e_addr : addr;
   mutable e_delegator : bool;
   e_counts : addr option;
+  e_born : Sim.Time.t;
 }
 
 and obj = {

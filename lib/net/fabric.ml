@@ -63,22 +63,53 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
         record (trace_event Trace.Arrive);
         deliver ()
   in
+  (* One fabric.xfer span per message, from post to delivery, as a leaf
+     under the sender's ambient context (it never becomes the parent of
+     the receiver's spans — channels propagate the *sender's* ctx). Its
+     ("q", ns) attribute is the NIC queueing share of the interval, which
+     Obs.Analysis splits out as the queue category. *)
+  let sp =
+    if Obs.Span.enabled () then
+      Obs.Span.start ~node:src.Node.name ~name:"fabric.xfer"
+        ~attrs:
+          [
+            ("src", src.Node.name);
+            ("dst", dst.Node.name);
+            ("bytes", string_of_int size);
+            ("cls", match cls with Stats.Control -> "ctrl" | Stats.Data -> "data");
+            ("local", string_of_bool (not on_network));
+          ]
+        ()
+    else 0
+  in
+  let deliver =
+    if sp = 0 then deliver
+    else
+      fun () ->
+        Obs.Span.finish sp;
+        deliver ()
+  in
   let wire_bytes = size + cfg.header_bytes in
   let base = base_latency t ~src ~dst in
+  let now = Sim.Engine.now () in
   if on_network then begin
     let ser = Config.bytes_time ~bw_bps:cfg.net_bandwidth_bps wire_bytes in
     let tx_start, _tx_done = Sim.Resource.reserve src.Node.tx ~duration:ser in
-    let _, rx_done =
+    let rx_start, rx_done =
       Sim.Resource.reserve_at dst.Node.rx ~start:(tx_start + base)
         ~duration:ser
     in
-    Sim.Engine.schedule (rx_done - Sim.Engine.now ()) deliver
+    if sp <> 0 then
+      Obs.Span.set_attr sp "q"
+        (string_of_int ((tx_start - now) + (rx_start - (tx_start + base))));
+    Sim.Engine.schedule (rx_done - now) deliver
   end
   else begin
     (* intra-machine: loopback QP / PCIe DMA, off the switch *)
     let ser = Config.bytes_time ~bw_bps:cfg.pcie_bandwidth_bps wire_bytes in
-    let _, dma_done = Sim.Resource.reserve src.Node.dma ~duration:ser in
-    Sim.Engine.schedule (dma_done + base - Sim.Engine.now ()) deliver
+    let dma_start, dma_done = Sim.Resource.reserve src.Node.dma ~duration:ser in
+    if sp <> 0 then Obs.Span.set_attr sp "q" (string_of_int (dma_start - now));
+    Sim.Engine.schedule (dma_done + base - now) deliver
   end
 
 let transfer t ~src ~dst ?cls ~size () =

@@ -1,0 +1,125 @@
+(* Capability audit log: a ring-buffered stream of every capability
+   lifecycle event, the security-observability counterpart of tracing.
+
+   The controller records an event whenever a capability is minted,
+   delegated (on invoke or by an explicit grant), invoked, dropped,
+   revoked as part of a subtree invalidation, registered for monitored
+   delegation, or rejected because its epoch is stale. Events carry the
+   global object address (controller id, epoch, object id) so the full
+   lineage of one object — mint at its home controller, delegations to
+   other capspaces, invokes, eventual revocation — can be stitched back
+   together with {!lineage}.
+
+   Like Span, collection is process-global and off by default; when
+   disabled every record site is one branch. *)
+
+type kind =
+  | Mint
+  | Delegate
+  | Invoke
+  | Drop
+  | Revoke
+  | Monitor_delegate
+  | Monitor_receive
+  | Stale_reject
+
+let kinds =
+  [ Mint; Delegate; Invoke; Drop; Revoke; Monitor_delegate; Monitor_receive;
+    Stale_reject ]
+
+let kind_name = function
+  | Mint -> "mint"
+  | Delegate -> "delegate"
+  | Invoke -> "invoke"
+  | Drop -> "drop"
+  | Revoke -> "revoke"
+  | Monitor_delegate -> "monitor_delegate"
+  | Monitor_receive -> "monitor_receive"
+  | Stale_reject -> "stale_reject"
+
+type event = {
+  au_seq : int;  (* global record order, monotonic across evictions *)
+  au_time : Sim.Time.t;
+  au_node : string;  (* node whose controller recorded the event *)
+  au_kind : kind;
+  au_ctrl : int;  (* object address: home controller id ... *)
+  au_epoch : int;  (* ... epoch it was minted in ... *)
+  au_oid : int;  (* ... and object id *)
+  au_pid : int;  (* process whose capspace is affected; -1 if none *)
+  au_cid : int;  (* capability id in that capspace; -1 if none *)
+  au_detail : string;
+}
+
+let enabled_flag = ref false
+let capacity = ref 65_536
+let ring : event Queue.t = Queue.create ()
+let seq = ref 0
+let n_evicted = ref 0
+let by_kind : (kind, int) Hashtbl.t = Hashtbl.create 8
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let set_capacity n =
+  capacity := max 1 n;
+  while Queue.length ring > !capacity do
+    ignore (Queue.pop ring);
+    incr n_evicted
+  done
+
+let reset () =
+  Queue.clear ring;
+  seq := 0;
+  n_evicted := 0;
+  Hashtbl.reset by_kind
+
+let record ~node ~kind ~ctrl ~epoch ~oid ?(pid = -1) ?(cid = -1)
+    ?(detail = "") () =
+  if !enabled_flag then begin
+    let ev =
+      {
+        au_seq = !seq;
+        au_time = Sim.Engine.now ();
+        au_node = node;
+        au_kind = kind;
+        au_ctrl = ctrl;
+        au_epoch = epoch;
+        au_oid = oid;
+        au_pid = pid;
+        au_cid = cid;
+        au_detail = detail;
+      }
+    in
+    incr seq;
+    Hashtbl.replace by_kind kind
+      (1 + match Hashtbl.find_opt by_kind kind with Some n -> n | None -> 0);
+    Queue.add ev ring;
+    if Queue.length ring > !capacity then begin
+      ignore (Queue.pop ring);
+      incr n_evicted
+    end
+  end
+
+let events () = List.of_seq (Queue.to_seq ring)
+let count () = Queue.length ring
+let evicted () = !n_evicted
+
+let summary () =
+  List.filter_map
+    (fun k ->
+      match Hashtbl.find_opt by_kind k with
+      | Some n when n > 0 -> Some (k, n)
+      | _ -> None)
+    kinds
+
+let lineage ~ctrl ~oid =
+  List.filter (fun ev -> ev.au_ctrl = ctrl && ev.au_oid = oid) (events ())
+
+let pp_event fmt ev =
+  Format.fprintf fmt "#%-6d %-10s %-10s %-16s obj(c%d.e%d.%d)%s%s%s" ev.au_seq
+    (Sim.Time.to_string ev.au_time)
+    (if ev.au_node = "" then "-" else ev.au_node)
+    (kind_name ev.au_kind) ev.au_ctrl ev.au_epoch ev.au_oid
+    (if ev.au_pid >= 0 then Printf.sprintf " pid=%d" ev.au_pid else "")
+    (if ev.au_cid >= 0 then Printf.sprintf " cid=%d" ev.au_cid else "")
+    (if ev.au_detail = "" then "" else "  " ^ ev.au_detail)

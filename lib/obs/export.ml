@@ -190,8 +190,16 @@ let chrome_trace_string () = Buffer.contents (chrome_trace_buffer ())
 let pp_chrome_trace fmt () =
   Format.pp_print_string fmt (chrome_trace_string ())
 
+let warn_if_truncated path =
+  if Span.dropped () > 0 then
+    Printf.eprintf
+      "warning: %s is incomplete: trace truncated (%d spans dropped at limit \
+       %d; raise with Span.set_limit)\n%!"
+      path (Span.dropped ()) (Span.get_limit ())
+
 let write_chrome_trace path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc (chrome_trace_buffer ()))
+    (fun () -> Buffer.output_buffer oc (chrome_trace_buffer ()));
+  warn_if_truncated path

@@ -12,4 +12,7 @@ val chrome_trace_string : unit -> string
 val pp_chrome_trace : Format.formatter -> unit -> unit
 
 val write_chrome_trace : string -> unit
-(** Write the trace to a file (overwrites). *)
+(** Write the trace to a file (overwrites). The export's [otherData]
+    records the collected/dropped span counts; if any spans were dropped
+    by the {!Span.set_limit} cap, a truncation warning is also printed to
+    stderr. *)

@@ -1,5 +1,5 @@
-type counter = { mutable c_v : int }
-type gauge = { mutable g_v : int; mutable g_max : int }
+type counter = { mutable c_v : int; mutable c_gen : int }
+type gauge = { mutable g_v : int; mutable g_max : int; mutable g_gen : int }
 
 (* Log-bucketed histogram: [sub] buckets per octave, so bucket k holds
    values in (2^((k-1)/sub), 2^(k/sub)] — ~19 % relative resolution at
@@ -13,6 +13,7 @@ type histogram = {
   mutable h_sum : float;
   mutable h_max : int;
   h_buckets : int array;
+  mutable h_gen : int;
 }
 
 let bucket_of v =
@@ -29,47 +30,109 @@ let bucket_value k =
   if k = 0 then 1.0
   else Float.exp2 ((float_of_int k -. 0.5) /. float_of_int sub)
 
+(* Inclusive upper bound of bucket k (OpenMetrics "le" label). *)
+let bucket_upper k = Float.exp2 (float_of_int k /. float_of_int sub)
+
 (* ------------------------------------------------------------------ *)
 (* Registry: one process-global table per instrument family, keyed by
-   (node, name). Find-or-create so instrumentation sites stay one-liners. *)
+   (node, name). Find-or-create so instrumentation sites stay one-liners.
+
+   Reset is generational: instruments are interned forever (so a handle
+   obtained before a reset is the same physical object returned after it),
+   and [reset] just bumps the generation. An instrument whose stamp is
+   stale is zeroed on first touch and skipped by the dump/snapshot, so old
+   handles keep recording into the *live* registry rather than a detached
+   object. *)
 (* ------------------------------------------------------------------ *)
 
 type key = string * string
 
+let generation = ref 0
 let counters : (key, counter) Hashtbl.t = Hashtbl.create 64
 let gauges : (key, gauge) Hashtbl.t = Hashtbl.create 64
 let histograms : (key, histogram) Hashtbl.t = Hashtbl.create 64
 
-let intern tbl make ~node name =
-  let key = (node, name) in
-  match Hashtbl.find_opt tbl key with
-  | Some v -> v
-  | None ->
-    let v = make () in
-    Hashtbl.add tbl key v;
-    v
+let refresh_counter c =
+  if c.c_gen <> !generation then begin
+    c.c_v <- 0;
+    c.c_gen <- !generation
+  end
 
-let counter ~node name = intern counters (fun () -> { c_v = 0 }) ~node name
-let gauge ~node name = intern gauges (fun () -> { g_v = 0; g_max = 0 }) ~node name
+let refresh_gauge g =
+  if g.g_gen <> !generation then begin
+    g.g_v <- 0;
+    g.g_max <- 0;
+    g.g_gen <- !generation
+  end
+
+let refresh_histogram h =
+  if h.h_gen <> !generation then begin
+    h.h_n <- 0;
+    h.h_sum <- 0.;
+    h.h_max <- 0;
+    Array.fill h.h_buckets 0 n_buckets 0;
+    h.h_gen <- !generation
+  end
+
+let intern tbl make refresh ~node name =
+  let key = (node, name) in
+  let v =
+    match Hashtbl.find_opt tbl key with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.add tbl key v;
+      v
+  in
+  refresh v;
+  v
+
+let counter ~node name =
+  intern counters (fun () -> { c_v = 0; c_gen = !generation }) refresh_counter
+    ~node name
+
+let gauge ~node name =
+  intern gauges
+    (fun () -> { g_v = 0; g_max = 0; g_gen = !generation })
+    refresh_gauge ~node name
 
 let histogram ~node name =
   intern histograms
     (fun () ->
-      { h_n = 0; h_sum = 0.; h_max = 0; h_buckets = Array.make n_buckets 0 })
-    ~node name
+      {
+        h_n = 0;
+        h_sum = 0.;
+        h_max = 0;
+        h_buckets = Array.make n_buckets 0;
+        h_gen = !generation;
+      })
+    refresh_histogram ~node name
 
-let incr ?(by = 1) c = c.c_v <- c.c_v + by
-let counter_value c = c.c_v
+let incr ?(by = 1) c =
+  refresh_counter c;
+  c.c_v <- c.c_v + by
+
+let counter_value c =
+  refresh_counter c;
+  c.c_v
 
 let set g v =
+  refresh_gauge g;
   g.g_v <- v;
   if v > g.g_max then g.g_max <- v
 
-let add g d = set g (g.g_v + d)
-let gauge_value g = g.g_v
-let gauge_max g = g.g_max
+let gauge_value g =
+  refresh_gauge g;
+  g.g_v
+
+let add g d = set g (gauge_value g + d)
+
+let gauge_max g =
+  refresh_gauge g;
+  g.g_max
 
 let observe h v =
+  refresh_histogram h;
   let v = if v < 0 then 0 else v in
   h.h_n <- h.h_n + 1;
   h.h_sum <- h.h_sum +. float_of_int v;
@@ -77,12 +140,22 @@ let observe h v =
   let k = bucket_of v in
   h.h_buckets.(k) <- h.h_buckets.(k) + 1
 
-let observations h = h.h_n
-let hist_max h = h.h_max
-let mean h = if h.h_n = 0 then Float.nan else h.h_sum /. float_of_int h.h_n
+let observations h =
+  refresh_histogram h;
+  h.h_n
+
+let hist_max h =
+  refresh_histogram h;
+  h.h_max
+
+let hist_sum h =
+  refresh_histogram h;
+  h.h_sum
+
+let mean h = if observations h = 0 then Float.nan else h.h_sum /. float_of_int h.h_n
 
 let percentile h p =
-  if h.h_n = 0 then Float.nan
+  if observations h = 0 then Float.nan
   else begin
     let p = Float.max 0. (Float.min 1. p) in
     let rank = Float.max 1. (Float.round (p *. float_of_int h.h_n)) in
@@ -104,49 +177,88 @@ let p50 h = percentile h 0.50
 let p95 h = percentile h 0.95
 let p99 h = percentile h 0.99
 
-let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset histograms
+let reset () = Stdlib.incr generation
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot: live (current-generation) instruments, sorted by key — the
+   basis for the text dump and the machine-readable exporters.           *)
+(* ------------------------------------------------------------------ *)
+
+let live_keys tbl stamp =
+  Hashtbl.fold (fun k v acc -> if stamp v = !generation then k :: acc else acc)
+    tbl []
+  |> List.sort compare
+
+let counters_list () =
+  List.map
+    (fun ((node, name) as key) ->
+      (node, name, (Hashtbl.find counters key).c_v))
+    (live_keys counters (fun c -> c.c_gen))
+
+let gauges_list () =
+  List.map
+    (fun ((node, name) as key) ->
+      let g = Hashtbl.find gauges key in
+      (node, name, g.g_v, g.g_max))
+    (live_keys gauges (fun g -> g.g_gen))
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_max : int;
+  hs_buckets : (float * int) list;
+      (* (inclusive upper bound, count in bucket), non-empty buckets only *)
+}
+
+let snapshot_histogram h =
+  refresh_histogram h;
+  let buckets = ref [] in
+  for k = n_buckets - 1 downto 0 do
+    if h.h_buckets.(k) > 0 then
+      buckets := (bucket_upper k, h.h_buckets.(k)) :: !buckets
+  done;
+  { hs_count = h.h_n; hs_sum = h.h_sum; hs_max = h.h_max; hs_buckets = !buckets }
+
+let histograms_list () =
+  List.map
+    (fun ((node, name) as key) ->
+      (node, name, snapshot_histogram (Hashtbl.find histograms key)))
+    (live_keys histograms (fun h -> h.h_gen))
 
 (* ------------------------------------------------------------------ *)
 (* Text dump                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let sorted_keys tbl =
-  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
-
 let us ns = ns /. 1_000.
 
 let pp fmt () =
   let open Format in
-  if Hashtbl.length counters > 0 then begin
+  (match counters_list () with
+  | [] -> ()
+  | cs ->
     fprintf fmt "counters:@.";
-    List.iter
-      (fun ((node, name) as key) ->
-        let c = Hashtbl.find counters key in
-        fprintf fmt "  %-10s %-28s %d@." node name c.c_v)
-      (sorted_keys counters)
-  end;
-  if Hashtbl.length gauges > 0 then begin
+    List.iter (fun (node, name, v) -> fprintf fmt "  %-10s %-28s %d@." node name v) cs);
+  (match gauges_list () with
+  | [] -> ()
+  | gs ->
     fprintf fmt "gauges:@.";
     List.iter
-      (fun ((node, name) as key) ->
-        let g = Hashtbl.find gauges key in
-        fprintf fmt "  %-10s %-28s %d (peak %d)@." node name g.g_v g.g_max)
-      (sorted_keys gauges)
-  end;
-  if Hashtbl.length histograms > 0 then begin
+      (fun (node, name, v, peak) ->
+        fprintf fmt "  %-10s %-28s %d (peak %d)@." node name v peak)
+      gs);
+  match
+    List.filter (fun (_, _, hs) -> hs.hs_count > 0) (histograms_list ())
+  with
+  | [] -> ()
+  | hs ->
     fprintf fmt "latency histograms (us):@.";
     List.iter
-      (fun ((node, name) as key) ->
-        let h = Hashtbl.find histograms key in
-        if h.h_n > 0 then
-          fprintf fmt
-            "  %-10s %-28s n=%-6d p50=%-9.2f p95=%-9.2f p99=%-9.2f max=%-9.2f \
-             mean=%.2f@."
-            node name h.h_n (us (p50 h)) (us (p95 h)) (us (p99 h))
-            (us (float_of_int h.h_max))
-            (us (mean h)))
-      (sorted_keys histograms)
-  end
+      (fun (node, name, _) ->
+        let h = Hashtbl.find histograms (node, name) in
+        fprintf fmt
+          "  %-10s %-28s n=%-6d p50=%-9.2f p95=%-9.2f p99=%-9.2f max=%-9.2f \
+           mean=%.2f@."
+          node name h.h_n (us (p50 h)) (us (p95 h)) (us (p99 h))
+          (us (float_of_int h.h_max))
+          (us (mean h)))
+      hs

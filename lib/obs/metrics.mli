@@ -34,6 +34,7 @@ val observe : histogram -> int -> unit
 
 val observations : histogram -> int
 val hist_max : histogram -> int
+val hist_sum : histogram -> float
 val mean : histogram -> float
 
 val percentile : histogram -> float -> float
@@ -46,8 +47,33 @@ val p95 : histogram -> float
 val p99 : histogram -> float
 
 val reset : unit -> unit
-(** Drop every instrument (handles obtained before the reset keep
-    recording, but into detached instruments no longer in the dump). *)
+(** Zero the whole registry. Generational: handles obtained before the
+    reset stay valid — they are re-zeroed on first use afterwards and keep
+    recording into the live registry (and [counter]/[gauge]/[histogram]
+    return the same physical handle across resets). *)
+
+(** {2 Snapshots}
+
+    Live (touched-since-last-reset) instruments sorted by (node, name) —
+    the basis for {!pp} and the {!Openmetrics} exporters. *)
+
+val counters_list : unit -> (string * string * int) list
+(** [(node, name, value)] per live counter. *)
+
+val gauges_list : unit -> (string * string * int * int) list
+(** [(node, name, value, peak)] per live gauge. *)
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_max : int;
+  hs_buckets : (float * int) list;
+      (** [(inclusive upper bound, count)] for each non-empty bucket, in
+          increasing bound order (not cumulative). *)
+}
+
+val snapshot_histogram : histogram -> histogram_snapshot
+val histograms_list : unit -> (string * string * histogram_snapshot) list
 
 val pp : Format.formatter -> unit -> unit
 (** Text dump of the whole registry, grouped by instrument family and

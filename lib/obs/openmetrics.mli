@@ -1,0 +1,24 @@
+(** Machine-readable exporters for the {!Metrics} registry.
+
+    {!to_string} renders the live registry in OpenMetrics / Prometheus
+    text exposition format: each metric name becomes a ["fractos_"]-
+    prefixed family with one series per node ([{node="..."}]); counters
+    get a [_total] suffix, gauge peaks a sibling [<name>_peak] family,
+    and histograms cumulative [le] buckets (log-bucket upper bounds) plus
+    [_sum] and [_count]. The output ends with [# EOF].
+
+    {!histograms_csv_string} summarizes each non-empty histogram as one
+    CSV row of count/sum/mean/percentiles/max in nanoseconds. *)
+
+val sanitize : string -> string
+(** Replace every character outside [[A-Za-z0-9_]] with ['_']. *)
+
+val metric : string -> string
+(** ["fractos_" ^ sanitize name]. *)
+
+val to_string : unit -> string
+val write : string -> unit
+
+val histograms_csv_header : string
+val histograms_csv_string : unit -> string
+val write_histograms_csv : string -> unit

@@ -28,6 +28,7 @@ let n_dropped = ref 0
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 let set_limit n = limit := max 1 n
+let get_limit () = !limit
 
 let reset () =
   Queue.clear collected;

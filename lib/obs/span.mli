@@ -42,6 +42,9 @@ val set_limit : int -> unit
 (** Cap the number of collected spans (default 500_000); further spans are
     counted in {!dropped} and their ids are 0. *)
 
+val get_limit : unit -> int
+(** The current span cap. *)
+
 val reset : unit -> unit
 (** Drop all collected spans and reset the id counter. *)
 

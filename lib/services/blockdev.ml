@@ -59,6 +59,7 @@ let handle_create t svc d =
 let handle_read t svc d =
   Obs.Span.with_
     ~node:(Svc.proc svc).State.pnode.Net.Node.name
+    ~attrs:[ ("cat", "device") ]
     ~name:"adaptor.blk.read"
   @@ fun () ->
   match (d.State.d_imms, d.State.d_caps) with
@@ -87,6 +88,7 @@ let handle_read t svc d =
 let handle_write t svc d =
   Obs.Span.with_
     ~node:(Svc.proc svc).State.pnode.Net.Node.name
+    ~attrs:[ ("cat", "device") ]
     ~name:"adaptor.blk.write"
   @@ fun () ->
   match (d.State.d_imms, d.State.d_caps) with

@@ -133,7 +133,15 @@ let verify t ~start_id ~batch ~probes =
   else if Bytes.length probes <> batch * t.img_size then
     Error (Error.Bad_argument "probe size mismatch")
   else begin
-    let slot = Sim.Channel.recv t.slots in
+    let slot =
+      (* the slot pool is a free-list, not a message hop: keep this
+         request's trace context instead of adopting the previous
+         holder's (channels normally propagate the sender's) *)
+      let ctx = Sim.Engine.get_ctx () in
+      let s = Sim.Channel.recv t.slots in
+      Sim.Engine.set_ctx ctx;
+      s
+    in
     let finish r =
       Sim.Channel.send t.slots slot;
       r

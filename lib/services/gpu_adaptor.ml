@@ -72,6 +72,7 @@ let handle_load _t svc d =
 let handle_invoke t svc d =
   Obs.Span.with_
     ~node:(Svc.proc svc).State.pnode.Net.Node.name
+    ~attrs:[ ("cat", "device") ]
     ~name:"adaptor.gpu.invoke"
   @@ fun () ->
   let fail_to cont code =
