@@ -1,0 +1,46 @@
+#!/bin/sh
+# Chaos gate against an already-built fractos executable (no recursive
+# dune, so the @chaos alias can run this from a dune action):
+#   bin/chaos.sh <fractos.exe>
+# 1. `fractos chaos` must pass its post-quiescence invariants (no fiber
+#    deadlock, every request settles with Ok or a typed error, no
+#    pre-crash capability usable after reboot, live/tombstone accounting
+#    balances) on ten fixed seeds under the default fault spec;
+# 2. the same seed run twice must produce bit-identical reports
+#    (deterministic fault injection — the repro contract of HACKING.md).
+set -eu
+
+fractos=$1
+
+tmp=$(mktemp -d /tmp/fractos-chaos.XXXXXX)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== chaos: 10 fixed seeds, default fault spec"
+for seed in 1 2 3 4 5 6 7 8 9 10; do
+  if ! "$fractos" chaos --seed "$seed" > "$tmp/seed$seed.txt" 2>&1; then
+    echo "chaos seed $seed FAILED:"
+    cat "$tmp/seed$seed.txt"
+    exit 1
+  fi
+done
+
+echo "== chaos: determinism (seed 1 twice, byte-identical)"
+"$fractos" chaos --seed 1 > "$tmp/again.txt"
+if ! cmp -s "$tmp/seed1.txt" "$tmp/again.txt"; then
+  echo "chaos run is not deterministic for seed 1:"
+  diff "$tmp/seed1.txt" "$tmp/again.txt" || true
+  exit 1
+fi
+
+echo "== chaos: crash-heavy spec, per-workload"
+for wl in faceverify fs mixed; do
+  if ! "$fractos" chaos --seed 2 --workload "$wl" \
+      --faults "crash=1,reboot=200us,horizon=500us" > "$tmp/$wl.txt" 2>&1
+  then
+    echo "chaos workload $wl FAILED:"
+    cat "$tmp/$wl.txt"
+    exit 1
+  fi
+done
+
+echo "== chaos OK"

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo health check: build, tests, formatting (if ocamlformat is
-# installed) and the smoke runs (trace / breakdown / audit; see
-# bin/smoke.sh). Run from the repo root: ./bin/check.sh
+# installed) and the smoke runs (trace / breakdown / seeded chaos gate /
+# audit; see bin/smoke.sh and bin/chaos.sh). Run from the repo root:
+# ./bin/check.sh
 # The same checks are wired as a dune alias: dune build @check
 set -eu
 

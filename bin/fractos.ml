@@ -4,6 +4,7 @@
      fractos run        end-to-end face-verification scenario
      fractos primitives core-primitive latencies (null op, RPC, copy)
      fractos census     network-traffic census, FractOS vs baseline
+     fractos chaos      seeded fault injection against real workloads
      fractos config     print the fabric/device calibration constants *)
 
 open Cmdliner
@@ -376,6 +377,30 @@ let census_cmd batch =
     (float_of_int bl.net_bytes /. float_of_int fr.net_bytes)
     ((Time.to_us_f bl_lat /. Time.to_us_f fr_lat -. 1.) *. 100.)
 
+(* ---------------- chaos -------------------------------------------- *)
+
+let chaos_cmd seed faults workload clients requests =
+  let module F = Fractos_fault in
+  let spec =
+    match F.Spec.of_string faults with
+    | Ok s -> s
+    | Error msg ->
+      Format.eprintf "fractos chaos: bad --faults spec: %s@." msg;
+      exit 2
+  in
+  let workload =
+    match F.Chaos.workload_of_string workload with
+    | Some w -> w
+    | None ->
+      Format.eprintf
+        "fractos chaos: unknown workload %S (faceverify, fs or mixed)@."
+        workload;
+      exit 2
+  in
+  let report = F.Chaos.run ~clients ~requests ~workload ~spec ~seed () in
+  List.iter print_endline (F.Chaos.to_lines report);
+  if not (F.Chaos.passed report) then exit 1
+
 (* ---------------- config ------------------------------------------- *)
 
 let config_cmd () =
@@ -473,6 +498,37 @@ let census_t =
     (Cmd.info "census" ~doc:"Traffic census (see bench/main.exe -- fig2)")
     Term.(const census_cmd $ batch)
 
+let chaos_t =
+  let faults =
+    Arg.(
+      value & opt string "default"
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:"Fault spec: 'default', 'none', or comma-separated key=value \
+                overrides (drop=0.05,crash=2,delay=30us,...). See HACKING.md.")
+  in
+  let workload =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "workload" ] ~docv:"W"
+          ~doc:"Workload mix: faceverify, fs or mixed.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 6
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client fibers.")
+  in
+  let chaos_requests =
+    Arg.(
+      value & opt int 24
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total client requests.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run workloads under a seeded fault plan and check \
+             failure-to-revocation invariants (exit 1 on violation)")
+    Term.(
+      const chaos_cmd $ seed $ faults $ workload $ clients $ chaos_requests)
+
 let config_t =
   Cmd.v
     (Cmd.info "config" ~doc:"Print the calibration constants")
@@ -488,6 +544,6 @@ let main =
   Cmd.group
     (Cmd.info "fractos" ~version:"1.0.0"
        ~doc:"FractOS distributed-OS simulator (EuroSys'22 reproduction)")
-    [ run_t; primitives_t; census_t; config_t; topology_t ]
+    [ run_t; primitives_t; census_t; chaos_t; config_t; topology_t ]
 
 let () = exit (Cmd.eval main)

@@ -7,7 +7,10 @@
 # 2. `bench fig5 --breakdown` must produce a non-empty CSV whose tax
 #    categories sum exactly to each row's end-to-end latency, with
 #    ctrl+fabric+queue+device covering >= 95 % of the aggregate;
-# 3. `run --audit` must print a capability lineage that reads
+# 3. the seeded chaos gate (bin/chaos.sh) must pass: fixed-seed fault
+#    schedules settle with the failure-to-revocation invariants intact
+#    and bit-identical reports per seed;
+# 4. `run --audit` must print a capability lineage that reads
 #    delegate -> invoke -> revoke.
 set -eu
 
@@ -64,6 +67,9 @@ awk -F, '
       exit 1
     }
   }' "$csv"
+
+echo "== smoke: seeded chaos gate (bin/chaos.sh)"
+sh "$(dirname "$0")/chaos.sh" "$fractos"
 
 echo "== smoke: fractos run --audit"
 audit_out=$(a="$tmp/audit.txt"; "$fractos" run -n 2 --audit > "$a"; cat "$a")

@@ -79,6 +79,23 @@ let request_invoke_async proc cid =
   call_async proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_req_invoke { cid; reply })
 
+let request_invoke_timeout proc ~timeout cid =
+  let node = proc.pnode.Net.Node.name in
+  let t0 = Sim.Engine.now () in
+  let iv =
+    call_async proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+        Sys_req_invoke { cid; reply })
+  in
+  let r =
+    match Sim.Ivar.await_timeout iv ~timeout with
+    | Some r -> r
+    | None -> Error Error.Timeout
+  in
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~node "syscall.request_invoke")
+    (Sim.Engine.now () - t0);
+  r
+
 let credit (proc : proc) =
   match proc.pctrl with
   | None -> ()

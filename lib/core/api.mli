@@ -72,6 +72,13 @@ val request_invoke_async : proc -> cid -> (unit, Error.t) result Sim.Ivar.t
 (** Asynchronous {!request_invoke}: pipeline invocations without waiting
     for each posting acknowledgment. *)
 
+val request_invoke_timeout :
+  proc -> timeout:Sim.Time.t -> cid -> (unit, Error.t) result
+(** {!request_invoke} that gives up after [timeout] with [Error Timeout]
+    instead of blocking forever — the QP-timeout behavior a client needs
+    when the posting acknowledgment can be lost to a fault (crashed
+    controller, dropped message). A late acknowledgment is discarded. *)
+
 val receive : proc -> delivery
 (** Block until the next Request invocation addressed to this Process
     arrives, returning its descriptor (request_receive). Dequeuing returns

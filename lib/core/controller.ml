@@ -45,17 +45,29 @@ let charge_scaled ctrl cls base =
 (* Messaging helpers                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Replies and raw deliveries ride the fabric outside the endpoint layer,
+   so they see duplicated messages (fault injection) as repeated callback
+   runs: fill ivars with [try_fill] and guard side-effecting deliveries
+   with [once] so a retransmission is absorbed, as an RDMA RC QP would. *)
+let once f =
+  let fired = ref false in
+  fun () ->
+    if not !fired then begin
+      fired := true;
+      f ()
+    end
+
 let reply_to ctrl (r : _ reply) v =
   Obs.Span.instant ~node:(node_name ctrl) ~name:"ctrl.reply" ();
   charge ctrl [ (Net.Cost.Msg, 1) ];
   Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:r.r_proc.pnode
-    ~size:Wire.response (fun () -> Sim.Ivar.fill r.r_ivar v)
+    ~size:Wire.response (fun () -> ignore (Sim.Ivar.try_fill r.r_ivar v))
 
 let rreply_to ctrl (rr : _ rreply) v =
   Obs.Span.instant ~node:(node_name ctrl) ~name:"ctrl.reply" ();
   charge ctrl [ (Net.Cost.Msg, 1) ];
   Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:rr.rr_ctrl.cnode
-    ~size:Wire.response (fun () -> Sim.Ivar.fill rr.rr_ivar v)
+    ~size:Wire.response (fun () -> ignore (Sim.Ivar.try_fill rr.rr_ivar v))
 
 let send_peer ctrl (dst : ctrl) ~size msg =
   Net.Endpoint.post ctrl.fabric ~src:ctrl.cnode dst.peer_ep ~size msg
@@ -155,8 +167,9 @@ let resolve_cap_args ctrl proc cids =
 let post_monitor_event ctrl (watcher : proc) ev =
   charge ctrl [ (Net.Cost.Msg, 1) ];
   Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:watcher.pnode
-    ~size:Wire.monitor_cb (fun () ->
-      if watcher.alive then Sim.Channel.send watcher.monitor_box ev)
+    ~size:Wire.monitor_cb
+    (once (fun () ->
+         if watcher.alive then Sim.Channel.send watcher.monitor_box ev))
 
 (* Fire-and-forget counter update at the owner of a monitored delegator
    object. *)
@@ -388,21 +401,24 @@ let deliver ctrl (r : req) imms caps rr =
       | Error e -> rreply_opt ctrl rr (Error e)
       | Ok rev_cids ->
       let cids = List.rev rev_cids in
-      let window =
-        match Hashtbl.find_opt ctrl.windows provider.pid with
-        | Some w -> w
-        | None -> assert false
-      in
-      Sim.Semaphore.acquire window;
-      Obs.Metrics.incr
-        (Obs.Metrics.counter ~node:(node_name ctrl) "ctrl.requests_delivered");
-      let size = Wire.invoke ~imms ~caps:(List.length caps) in
-      Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:provider.pnode ~size
-        (fun () ->
-          if provider.alive then
-            Sim.Channel.send provider.inbox
-              { d_tag = r.r_tag; d_imms = imms; d_caps = cids });
-      rreply_opt ctrl rr (Ok ())
+      match Hashtbl.find_opt ctrl.windows provider.pid with
+      | None ->
+        (* the controller restarted while this invoke was in flight: the
+           window table was reset, so this epoch no longer knows the
+           provider — surface it as a dead provider, don't crash *)
+        rreply_opt ctrl rr (Error Error.Provider_dead)
+      | Some window ->
+        Sim.Semaphore.acquire window;
+        Obs.Metrics.incr
+          (Obs.Metrics.counter ~node:(node_name ctrl)
+             "ctrl.requests_delivered");
+        let size = Wire.invoke ~imms ~caps:(List.length caps) in
+        Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:provider.pnode ~size
+          (once (fun () ->
+               if provider.alive then
+                 Sim.Channel.send provider.inbox
+                   { d_tag = r.r_tag; d_imms = imms; d_caps = cids }));
+        rreply_opt ctrl rr (Ok ())
 
 (* Process one hop of an invocation: [addr] names a Request object at this
    controller; [suffix] holds the arguments accumulated from more-derived
@@ -615,10 +631,10 @@ let do_copy_hw ctrl ~src_mem ~dst_mem (rr : unit rreply) =
     ~dst_off:dst_mem.m_off ~len:src_mem.m_len;
   Net.Fabric.send ctrl.fabric ~src:src_mem.m_buf.Membuf.node
     ~dst:dst_mem.m_buf.Membuf.node ~cls:Net.Stats.Data ~size:src_mem.m_len
-    (fun () ->
-      Net.Fabric.send ctrl.fabric ~src:dst_mem.m_buf.Membuf.node
-        ~dst:rr.rr_ctrl.cnode ~size:Wire.response (fun () ->
-          Sim.Ivar.fill rr.rr_ivar (Ok ())))
+    (once (fun () ->
+         Net.Fabric.send ctrl.fabric ~src:dst_mem.m_buf.Membuf.node
+           ~dst:rr.rr_ctrl.cnode ~size:Wire.response (fun () ->
+             ignore (Sim.Ivar.try_fill rr.rr_ivar (Ok ())))))
 
 (* ------------------------------------------------------------------ *)
 (* Syscall handlers                                                    *)
@@ -1276,6 +1292,16 @@ let restart ctrl =
 let live_objects ctrl = Objects.live_count ctrl
 let tombstones ctrl = Objects.tombstone_count ctrl
 let is_running ctrl = ctrl.running
+let epoch ctrl = ctrl.epoch
+let id ctrl = ctrl.ctrl_id
+
+(* Reset the module-global id counters so two in-process simulation runs
+   (e.g. back-to-back chaos runs compared for bit-determinism) mint
+   identical controller and copy-session ids. Call only between engine
+   runs. *)
+let reset_ids () =
+  next_ctrl_id := 0;
+  next_copy_id := 0
 
 type memory_report = {
   mr_proc_buffers : int;

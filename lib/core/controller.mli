@@ -71,6 +71,18 @@ val live_objects : t -> int
 val tombstones : t -> int
 val is_running : t -> bool
 
+val epoch : t -> int
+(** Current epoch; bumped by every {!restart}. *)
+
+val id : t -> int
+(** The controller id stamped into its objects' addresses ([a_ctrl]). *)
+
+val reset_ids : unit -> unit
+(** Reset the module-global controller/copy-session id counters. Only for
+    harnesses that run several simulations in one OS process and need the
+    runs to be bit-identical (e.g. chaos determinism checks); call between
+    {!Sim.Engine.run}s, never during one. *)
+
 type memory_report = {
   mr_proc_buffers : int;
       (** RoCE receive buffers per managed Process (64 MiB each, §4). *)

@@ -16,6 +16,7 @@ let create ~node name =
     alive = true;
   }
 
+let reset_ids () = next_pid := 0
 let alloc t size = Membuf.create ~node:t.pnode size
 let is_alive t = t.alive
 let name t = t.pname

@@ -18,6 +18,9 @@ val alloc : t -> int -> Membuf.t
     the process runs on). Register it with [Api.memory_create] to make it
     visible to FractOS. *)
 
+val reset_ids : unit -> unit
+(** Reset the module-global pid counter; see {!Controller.reset_ids}. *)
+
 val is_alive : t -> bool
 val name : t -> string
 val node : t -> Net.Node.t

@@ -1,0 +1,320 @@
+module Tb = Fractos_testbed.Testbed
+module Cluster = Fractos_testbed.Cluster
+module Svc = Fractos_services.Svc
+module Fs = Fractos_services.Fs
+module Faceverify = Fractos_services.Faceverify
+module Facedata = Fractos_workloads.Facedata
+
+type workload = Faceverify | Fs | Mixed
+
+let workload_to_string = function
+  | Faceverify -> "faceverify"
+  | Fs -> "fs"
+  | Mixed -> "mixed"
+
+let workload_of_string = function
+  | "faceverify" -> Some Faceverify
+  | "fs" -> Some Fs
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+type report = {
+  r_seed : int;
+  r_workload : workload;
+  r_spec : string;
+  r_plan : string list;
+  r_requests : int;
+  r_ok : int;
+  r_errors : (string * int) list;
+  r_retries : int;
+  r_violations : string list;
+  r_ctrls : (int * int * int * int) list;
+  r_audit_events : int;
+  r_audit_digest : string;
+  r_end_time : Sim.Time.t;
+}
+
+let passed r = r.r_violations = []
+
+(* Workload dimensions: small enough that a chaos run with faults settles in
+   a few simulated milliseconds, big enough to exercise multi-extent DAX
+   reads, GPU invocations and FS staging. *)
+let n_images = 128
+let img_size = 512
+let batch = 4
+let file_size = 4 * 4096
+let op_len = 4096
+
+(* The per-attempt deadline must comfortably exceed the natural queueing
+   delay (clients share a depth-limited pipeline), or timeouts themselves
+   congest the system with retries. *)
+let policy =
+  {
+    Retry.p_attempts = 4;
+    p_timeout = Sim.Time.ms 4;
+    p_backoff_base = Sim.Time.us 50;
+    p_backoff_cap = Sim.Time.us 800;
+  }
+
+let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ~spec ~seed () =
+  (* Reset process-global state so chaos runs are independent of whatever
+     ran earlier in the same process (in-process determinism). *)
+  Core.Controller.reset_ids ();
+  Core.Process.reset_ids ();
+  Obs.Metrics.reset ();
+  Obs.Span.reset ();
+  Obs.Audit.reset ();
+  Obs.Audit.set_capacity (1 lsl 20);
+  Obs.Audit.set_enabled true;
+  Retry.reset_counters ();
+  let clients = max 1 clients in
+  let results : (unit, Core.Error.t) result option array =
+    Array.make (max 0 requests) None
+  in
+  let requests = Array.length results in
+  let violations = ref [] in
+  let viol fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let plan_lines = ref [] in
+  let ctrl_summary = ref [] in
+  let end_time = ref 0 in
+  let is_fs_client k =
+    match workload with
+    | Faceverify -> false
+    | Fs -> true
+    | Mixed -> k mod 2 = 1
+  in
+  (try
+     Tb.run (fun tb ->
+         let cl = Cluster.make ~extent_size:(n_images * img_size) tb in
+         let app = cl.Cluster.app in
+         let proc = Svc.proc app in
+         (* Fault-free setup phase: database, pipeline, per-client files. *)
+         Core.Error.ok_exn
+           (Faceverify.populate_db app ~fs:cl.Cluster.fs_cap ~name:"facedb"
+              ~content:(Facedata.db ~img_size ~n:n_images));
+         let setup_fv () =
+           Faceverify.setup app ~fs:cl.Cluster.fs_cap
+             ~gpu_alloc:cl.Cluster.gpu_alloc_cap
+             ~gpu_load:cl.Cluster.gpu_load_cap ~db_name:"facedb" ~img_size
+             ~max_batch:batch ~depth:4
+         in
+         let fv_ref = ref (Core.Error.ok_exn (setup_fv ())) in
+         let fs_clients =
+           Array.init clients (fun k ->
+               if not (is_fs_client k) then None
+               else begin
+                 let name = Printf.sprintf "chaos%d" k in
+                 Core.Error.ok_exn
+                   (Fs.create app ~fs:cl.Cluster.fs_cap ~name ~size:file_size);
+                 let handle =
+                   Core.Error.ok_exn
+                     (Fs.open_ app ~fs:cl.Cluster.fs_cap ~name Fs.Fs_rw)
+                 in
+                 let buf =
+                   Core.Membuf.create ~node:cl.Cluster.app_node op_len
+                 in
+                 let ro =
+                   Core.Error.ok_exn
+                     (Core.Api.memory_create proc buf Core.Perms.ro)
+                 in
+                 let rw =
+                   Core.Error.ok_exn
+                     (Core.Api.memory_create proc buf Core.Perms.rw)
+                 in
+                 Some (ref handle, name, ro, rw)
+               end)
+         in
+         (* Arm the fault plan. *)
+         let pl =
+           Plan.generate ~spec ~seed ~n_ctrls:(List.length tb.Tb.ctrls)
+             ~n_nodes:(List.length (Net.Fabric.nodes tb.Tb.fabric))
+         in
+         plan_lines := Plan.to_lines pl;
+         let t0 = Sim.Engine.now () in
+         Inject.install pl ~fabric:tb.Tb.fabric ~ctrls:tb.Tb.ctrls;
+         (* Stale-capability refresh paths. *)
+         let refreshing = ref false in
+         let refresh_fv _e =
+           if not !refreshing then begin
+             refreshing := true;
+             (match
+                Retry.with_timeout ~timeout:policy.Retry.p_timeout setup_fv
+              with
+             | Ok fv' -> fv_ref := fv'
+             | Error _ -> ());
+             refreshing := false
+           end
+         in
+         let refresh_fs k _e =
+           match fs_clients.(k) with
+           | None -> ()
+           | Some (handle_ref, name, _ro, _rw) -> (
+               match
+                 Retry.with_timeout ~timeout:policy.Retry.p_timeout (fun () ->
+                     match Fs.open_ app ~fs:cl.Cluster.fs_cap ~name Fs.Fs_rw with
+                     | Error Core.Error.Invalid_cap -> (
+                         (* The file died with its controller: recreate it. *)
+                         match
+                           Fs.create app ~fs:cl.Cluster.fs_cap ~name
+                             ~size:file_size
+                         with
+                         | Ok () ->
+                             Fs.open_ app ~fs:cl.Cluster.fs_cap ~name Fs.Fs_rw
+                         | Error _ as e -> e)
+                     | r -> r)
+               with
+               | Ok h -> handle_ref := h
+               | Error _ -> ())
+         in
+         (* Client operations. *)
+         let ground_truth = Facedata.expected_matches ~batch ~impostor_every:5 in
+         let do_fv rng idx =
+           let start_id = Sim.Prng.int rng (n_images - batch + 1) in
+           let probes =
+             Facedata.probe_batch ~img_size ~start_id ~batch ~impostor_every:5
+           in
+           Retry.run ~policy ~refresh:refresh_fv (fun () ->
+               match Faceverify.verify !fv_ref ~start_id ~batch ~probes with
+               | Ok flags ->
+                   if not (Bytes.equal flags ground_truth) then
+                     viol
+                       "request %d: verify succeeded with corrupt match flags"
+                       idx;
+                   Ok ()
+               | Error _ as e -> e)
+         in
+         let do_fs k rng _idx =
+           match fs_clients.(k) with
+           | None -> assert false
+           | Some (handle_ref, _name, ro, rw) ->
+               let off = Sim.Prng.int rng (file_size / op_len) * op_len in
+               Retry.run ~policy ~refresh:(refresh_fs k) (fun () ->
+                   let h = !handle_ref in
+                   match Fs.write app h ~off ~len:op_len ~src:ro with
+                   | Error _ as e -> e
+                   | Ok () -> Fs.read app h ~off ~len:op_len ~dst:rw)
+         in
+         (* Drive the clients. *)
+         let master = Sim.Prng.create ~seed:(seed lxor 0x107a05) in
+         let rngs = Array.init clients (fun _ -> Sim.Prng.split master) in
+         let wg = Sim.Waitgroup.create () in
+         for k = 0 to clients - 1 do
+           Sim.Waitgroup.spawn wg (fun () ->
+               let idx = ref k in
+               while !idx < requests do
+                 let i = !idx in
+                 let r =
+                   if is_fs_client k then do_fs k rngs.(k) i
+                   else do_fv rngs.(k) i
+                 in
+                 results.(i) <- Some r;
+                 idx := i + clients
+               done)
+         done;
+         Sim.Waitgroup.wait wg;
+         (* Quiesce: stop injecting, let late reboots/cleanups land. *)
+         Inject.disable tb.Tb.fabric;
+         Sim.Engine.sleep (spec.Spec.s_horizon + Sim.Time.ms 2);
+         let inv =
+           Invariants.check ~ctrls:tb.Tb.ctrls ~plan:pl ~install_time:t0 ()
+         in
+         List.iter (fun v -> violations := v :: !violations) inv;
+         ctrl_summary :=
+           List.map
+             (fun c ->
+               ( Core.Controller.id c,
+                 Core.Controller.epoch c,
+                 Core.Controller.live_objects c,
+                 Core.Controller.tombstones c ))
+             tb.Tb.ctrls;
+         end_time := Sim.Engine.now ())
+   with
+   | Sim.Engine.Deadlock msg -> viol "fiber deadlock at quiescence: %s" msg
+   | Core.Error.Fractos e ->
+       viol "typed error escaped to the root fiber: %s" (Core.Error.to_string e));
+  Array.iteri
+    (fun i r ->
+      if r = None then
+        viol "request %d neither completed nor surfaced an error" i)
+    results;
+  let ok =
+    Array.fold_left
+      (fun n -> function Some (Ok ()) -> n + 1 | _ -> n)
+      0 results
+  in
+  let errors =
+    let tally = Hashtbl.create 8 in
+    Array.iter
+      (function
+        | Some (Error e) ->
+            let k = Core.Error.to_string e in
+            Hashtbl.replace tally k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally k))
+        | _ -> ())
+      results;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+    |> List.sort compare
+  in
+  let audit_digest =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (Format.asprintf "%a" Obs.Audit.pp_event e);
+        Buffer.add_char buf '\n')
+      (Obs.Audit.events ());
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  Obs.Audit.set_enabled false;
+  {
+    r_seed = seed;
+    r_workload = workload;
+    r_spec = Spec.to_string spec;
+    r_plan = !plan_lines;
+    r_requests = requests;
+    r_ok = ok;
+    r_errors = errors;
+    r_retries = Retry.retries ();
+    r_violations = List.rev !violations;
+    r_ctrls = !ctrl_summary;
+    r_audit_events = Obs.Audit.count ();
+    r_audit_digest = audit_digest;
+    r_end_time = !end_time;
+  }
+
+let to_lines r =
+  [
+    Printf.sprintf "chaos seed=%d workload=%s" r.r_seed
+      (workload_to_string r.r_workload);
+    Printf.sprintf "spec: %s" r.r_spec;
+    "plan:";
+  ]
+  @ List.map (fun l -> "  " ^ l) r.r_plan
+  @ [
+      Printf.sprintf "requests=%d ok=%d retries=%d%s" r.r_requests r.r_ok
+        r.r_retries
+        (if r.r_errors = [] then ""
+         else
+           " errors: "
+           ^ String.concat " "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.r_errors));
+      "controllers: "
+      ^ String.concat " "
+          (List.map
+             (fun (id, ep, live, tomb) ->
+               Printf.sprintf "[id=%d epoch=%d live=%d tomb=%d]" id ep live
+                 tomb)
+             r.r_ctrls);
+      Printf.sprintf "audit: events=%d digest=%s" r.r_audit_events
+        r.r_audit_digest;
+      Printf.sprintf "settled at t=%s" (Sim.Time.to_string r.r_end_time);
+    ]
+  @
+  if r.r_violations = [] then [ "result: OK" ]
+  else
+    Printf.sprintf "result: %d VIOLATION(S)" (List.length r.r_violations)
+    :: List.map (fun v -> "  - " ^ v) r.r_violations
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list Format.pp_print_string)
+    (to_lines r)

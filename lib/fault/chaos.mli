@@ -1,0 +1,57 @@
+(** Randomized chaos harness: run real workloads under a seeded fault plan
+    and check the failure-to-revocation invariants afterwards.
+
+    One chaos run stands up the canonical 3-node cluster, populates a face
+    database and per-client files {e before} faults arm, expands the spec
+    into a {!Plan.t}, installs it with {!Inject.install}, then drives client
+    fibers that mix face-verification and file-system traffic through
+    {!Retry.run}. After the clients drain and the fabric hook is removed,
+    the run settles and {!Invariants.check} cross-references controller
+    state against the audit log.
+
+    Everything — plan expansion, per-message faults, workload choices — is
+    driven by splitmix64 streams derived from [seed], so a given
+    [(seed, spec, workload, clients, requests)] reproduces bit-for-bit:
+    same report text, same audit digest. *)
+
+type workload = Faceverify | Fs | Mixed
+
+val workload_to_string : workload -> string
+val workload_of_string : string -> workload option
+
+type report = {
+  r_seed : int;
+  r_workload : workload;
+  r_spec : string;  (** canonical [Spec.to_string] rendering *)
+  r_plan : string list;  (** [Plan.to_lines] of the expanded plan *)
+  r_requests : int;
+  r_ok : int;  (** requests that completed successfully *)
+  r_errors : (string * int) list;  (** typed-error tally, sorted by name *)
+  r_retries : int;  (** total retry sleeps across all clients *)
+  r_violations : string list;  (** invariant violations; empty = pass *)
+  r_ctrls : (int * int * int * int) list;
+      (** per controller: (id, epoch, live objects, tombstones) *)
+  r_audit_events : int;
+  r_audit_digest : string;  (** MD5 over the rendered audit log *)
+  r_end_time : Sim.Time.t;  (** simulated instant the run settled *)
+}
+
+val run :
+  ?clients:int ->
+  ?requests:int ->
+  ?workload:workload ->
+  spec:Spec.t ->
+  seed:int ->
+  unit ->
+  report
+(** Execute one chaos run (defaults: 6 clients, 24 requests, {!Mixed}).
+    Never raises on injected faults: a fiber deadlock or an escaped typed
+    error is folded into [r_violations]. *)
+
+val passed : report -> bool
+(** [r.r_violations = []]. *)
+
+val to_lines : report -> string list
+(** Deterministic human-readable rendering (what [fractos chaos] prints). *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,2 @@
+(* Local alias: [Core.Controller], [Core.Error], ... *)
+include Fractos_core

@@ -1,0 +1,89 @@
+let install plan ~fabric ~ctrls =
+  let t0 = Sim.Engine.now () in
+  let spec = plan.Plan.pl_spec in
+  let ctrl_arr = Array.of_list ctrls in
+  let node_arr = Array.of_list (Net.Fabric.nodes fabric) in
+  let n_nodes = Array.length node_arr in
+  (* Scheduled (time-triggered) events. *)
+  List.iter
+    (fun ev ->
+      match ev with
+      | Plan.Crash { at; ctrl } when ctrl < Array.length ctrl_arr ->
+          let c = ctrl_arr.(ctrl) in
+          Sim.Engine.schedule at (fun () ->
+              if Core.Controller.is_running c then Core.Controller.fail c)
+      | Plan.Reboot { at; ctrl } when ctrl < Array.length ctrl_arr ->
+          let c = ctrl_arr.(ctrl) in
+          Sim.Engine.schedule at (fun () ->
+              if not (Core.Controller.is_running c) then
+                Core.Controller.restart c)
+      | Plan.Stall { at; until; node } when node < n_nodes ->
+          let n = node_arr.(node) in
+          let start = t0 + at and duration = until - at in
+          if duration > 0 then begin
+            ignore (Sim.Resource.reserve_at n.Net.Node.tx ~start ~duration);
+            ignore (Sim.Resource.reserve_at n.Net.Node.rx ~start ~duration);
+            ignore (Sim.Resource.reserve_at n.Net.Node.dma ~start ~duration)
+          end
+      | Plan.Crash _ | Plan.Reboot _ | Plan.Stall _ | Plan.Partition _ -> ())
+    plan.Plan.pl_events;
+  (* Per-message fabric faults. *)
+  let node_index = Hashtbl.create (max 8 n_nodes) in
+  Array.iteri
+    (fun i n -> Hashtbl.replace node_index n.Net.Node.name i)
+    node_arr;
+  let partitions =
+    List.filter_map
+      (function
+        | Plan.Partition { from_; until; island } ->
+            let inside = Array.make n_nodes false in
+            List.iter
+              (fun i -> if i >= 0 && i < n_nodes then inside.(i) <- true)
+              island;
+            Some (t0 + from_, t0 + until, inside)
+        | _ -> None)
+      plan.Plan.pl_events
+  in
+  let lossy = Array.make_matrix n_nodes n_nodes false in
+  List.iter
+    (fun (a, b) ->
+      if a >= 0 && a < n_nodes && b >= 0 && b < n_nodes then begin
+        lossy.(a).(b) <- true;
+        lossy.(b).(a) <- true
+      end)
+    plan.Plan.pl_lossy;
+  let g = Sim.Prng.create ~seed:plan.Plan.pl_fault_seed in
+  let hook ~src ~dst ~cls:_ ~size:_ =
+    (* Always three draws per message: decisions depend only on the message
+       sequence, never on which branch earlier messages took. *)
+    let d_drop = Sim.Prng.float g 1.0 in
+    let d_dup = Sim.Prng.float g 1.0 in
+    let d_delay = Sim.Prng.float g 1.0 in
+    let si = Hashtbl.find_opt node_index src.Net.Node.name in
+    let di = Hashtbl.find_opt node_index dst.Net.Node.name in
+    match (si, di) with
+    | Some si, Some di ->
+        let now = Sim.Engine.now () in
+        let partitioned =
+          si <> di
+          && List.exists
+               (fun (from_, until, inside) ->
+                 now >= from_ && now < until && inside.(si) <> inside.(di))
+               partitions
+        in
+        if partitioned then Net.Fabric.Drop
+        else
+          let drop_p =
+            spec.Spec.s_drop
+            +. (if lossy.(si).(di) then spec.Spec.s_lossy_drop else 0.)
+          in
+          if d_drop < drop_p then Net.Fabric.Drop
+          else if d_dup < spec.Spec.s_dup then Net.Fabric.Duplicate
+          else if d_delay < spec.Spec.s_delay_p then
+            Net.Fabric.Delay spec.Spec.s_delay
+          else Net.Fabric.Pass
+    | _ -> Net.Fabric.Pass
+  in
+  Net.Fabric.set_fault_hook fabric (Some hook)
+
+let disable fabric = Net.Fabric.set_fault_hook fabric None

@@ -1,0 +1,20 @@
+(** Arm a {!Plan.t} against a live testbed.
+
+    [install] schedules the plan's controller crashes/reboots and device
+    stalls on the engine and installs a fabric fault hook that implements
+    partitions, per-message loss, duplication and delay. All per-message
+    randomness comes from the plan's [pl_fault_seed], with a fixed number of
+    draws per message, so two runs of the same workload under the same plan
+    see bit-identical fault decisions. *)
+
+val install :
+  Plan.t -> fabric:Net.Fabric.t -> ctrls:Core.Controller.t list -> unit
+(** Arm the plan now; event times in the plan are relative to the instant of
+    this call. Controller indices out of range of [ctrls] (or node indices
+    out of range of the fabric) are ignored, so a plan generated for a
+    larger topology degrades gracefully. *)
+
+val disable : Net.Fabric.t -> unit
+(** Remove the fabric fault hook (scheduled crash/reboot/stall events that
+    have not fired yet still will). Used to let the system quiesce before
+    checking invariants. *)

@@ -1,0 +1,28 @@
+(** Post-quiescence safety checks for chaos runs.
+
+    After a fault plan has played out and the system has settled, these
+    checks cross-reference the live controller state against the capability
+    audit log ({!Obs.Audit}):
+
+    - {b failure-to-revocation}: every invoke of an address minted before a
+      controller reboot (a stale epoch) was answered with a [Stale_reject]
+      audit event — queried per-object via {!Obs.Audit.lineage} — i.e. no
+      capability minted before a crash remained usable after the reboot;
+    - {b mint-epoch sanity}: controllers only ever mint at their current
+      epoch (derived from the plan's reboot schedule);
+    - {b object accounting}: each controller's [live_objects] equals the
+      distinct objects minted minus revoked in its current epoch according
+      to the audit log;
+    - {b clean shutdown}: under a lossless, crash-free spec no tombstones
+      remain after quiescence.
+
+    Returns human-readable violation strings; empty means all invariants
+    hold. Assumes auditing was enabled for the whole run and that the ring
+    never evicted (checked). *)
+
+val check :
+  ctrls:Core.Controller.t list ->
+  plan:Plan.t ->
+  install_time:Sim.Time.t ->
+  unit ->
+  string list

@@ -1,0 +1,2 @@
+(* Local alias: [Net.Fabric], [Net.Node], ... *)
+include Fractos_net

@@ -1,0 +1,2 @@
+(* Local alias: [Obs.Audit], [Obs.Metrics], ... *)
+include Fractos_obs

@@ -1,0 +1,2 @@
+(* Local alias: [Sim.Engine], [Sim.Prng], ... *)
+include Fractos_sim

@@ -1,10 +1,42 @@
-type 'a t = { name : string; node : Node.t; chan : 'a Sim.Channel.t }
+type 'a t = {
+  name : string;
+  node : Node.t;
+  chan : 'a Sim.Channel.t;
+  mutable next_seq : int;
+  seen : (int, unit) Hashtbl.t;
+  order : int Queue.t;
+}
 
-let create ~node name = { name; node; chan = Sim.Channel.create () }
+(* Sliding dedup window, modeling an RDMA RC endpoint's PSN check: each
+   posted message carries a sender-assigned sequence number, and a second
+   delivery of an already-seen number (a duplicated fabric message) is
+   discarded at the receiver. *)
+let window = 1024
+
+let create ~node name =
+  {
+    name;
+    node;
+    chan = Sim.Channel.create ();
+    next_seq = 0;
+    seen = Hashtbl.create 64;
+    order = Queue.create ();
+  }
 
 let post fab ~src ep ?cls ~size msg =
+  let seq = ep.next_seq in
+  ep.next_seq <- seq + 1;
   Fabric.send fab ~src ~dst:ep.node ?cls ~size (fun () ->
-      Sim.Channel.send ep.chan msg)
+      if Hashtbl.mem ep.seen seq then
+        Obs.Metrics.incr
+          (Obs.Metrics.counter ~node:ep.node.Node.name "net.dup_discards")
+      else begin
+        Hashtbl.replace ep.seen seq ();
+        Queue.add seq ep.order;
+        if Queue.length ep.order > window then
+          Hashtbl.remove ep.seen (Queue.pop ep.order);
+        Sim.Channel.send ep.chan msg
+      end)
 
 let recv ep = Sim.Channel.recv ep.chan
 let try_recv ep = Sim.Channel.try_recv ep.chan

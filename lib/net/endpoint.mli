@@ -5,18 +5,20 @@
     {!post} / {!recv}; the fabric handles latency, bandwidth and
     accounting underneath. *)
 
-type 'a t = private {
-  name : string;
-  node : Node.t;
-  chan : 'a Sim.Channel.t;
-}
+type 'a t
 
 val create : node:Node.t -> string -> 'a t
 
 val post :
   Fabric.t -> src:Node.t -> 'a t -> ?cls:Stats.cls -> size:int -> 'a -> unit
 (** [post fab ~src ep ~size msg] sends [msg] from [src] to [ep]'s mailbox
-    through the fabric. Non-blocking. *)
+    through the fabric. Non-blocking. Each post carries a sender-assigned
+    sequence number and the receive side discards a second delivery of the
+    same number (sliding window of 1024), so duplicated fabric messages
+    (fault injection, see {!Fabric.fault}) are invisible to receivers —
+    the same guarantee an RDMA RC endpoint's PSN check gives real FractOS
+    nodes. Discards are counted in the receiver's [net.dup_discards]
+    metric. *)
 
 val recv : 'a t -> 'a
 (** Block until the next message arrives at this endpoint. *)

@@ -1,15 +1,29 @@
+type fault = Pass | Drop | Duplicate | Delay of Sim.Time.t
+
+type fault_hook =
+  src:Node.t -> dst:Node.t -> cls:Stats.cls -> size:int -> fault
+
 type t = {
   config : Config.t;
   stats : Stats.t;
   mutable next_id : int;
   mutable nodes : Node.t list; (* reverse creation order *)
   mutable tracer : (Trace.event -> unit) option;
+  mutable fault_hook : fault_hook option;
 }
 
 let create ?(config = Config.default) () =
-  { config; stats = Stats.create (); next_id = 0; nodes = []; tracer = None }
+  {
+    config;
+    stats = Stats.create ();
+    next_id = 0;
+    nodes = [];
+    tracer = None;
+    fault_hook = None;
+  }
 
 let set_tracer t tracer = t.tracer <- tracer
+let set_fault_hook t h = t.fault_hook <- h
 
 let config t = t.config
 let stats t = t.stats
@@ -36,11 +50,23 @@ let base_latency t ~src ~dst =
 
 let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
   let cfg = t.config in
+  let fault =
+    match t.fault_hook with None -> Pass | Some h -> h ~src ~dst ~cls ~size
+  in
   let on_network = not (Node.same_machine src dst) in
   Stats.record t.stats ~src ~dst ~cls ~bytes:size ~on_network;
   Obs.Metrics.incr (Obs.Metrics.counter ~node:src.Node.name "net.tx_msgs");
   Obs.Metrics.incr ~by:size
     (Obs.Metrics.counter ~node:src.Node.name "net.tx_bytes");
+  (match fault with
+  | Pass -> ()
+  | Drop ->
+    Obs.Metrics.incr (Obs.Metrics.counter ~node:src.Node.name "net.fault_drops")
+  | Duplicate ->
+    Obs.Metrics.incr (Obs.Metrics.counter ~node:src.Node.name "net.fault_dups")
+  | Delay _ ->
+    Obs.Metrics.incr
+      (Obs.Metrics.counter ~node:src.Node.name "net.fault_delays"));
   let trace_event kind =
     {
       Trace.ev_time = Sim.Engine.now ();
@@ -55,7 +81,10 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
   (match t.tracer with
   | Some record -> record (trace_event Trace.Depart)
   | None -> ());
-  let deliver =
+  (* The duplicate copy (fault injection) re-runs the raw callback without
+     the span-finish wrapper, so the fabric.xfer span is finished exactly
+     once; receivers deduplicate at the endpoint layer. *)
+  let dup_deliver =
     match t.tracer with
     | None -> deliver
     | Some record ->
@@ -63,6 +92,7 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
         record (trace_event Trace.Arrive);
         deliver ()
   in
+  let deliver = dup_deliver in
   (* One fabric.xfer span per message, from post to delivery, as a leaf
      under the sender's ambient context (it never becomes the parent of
      the receiver's spans — channels propagate the *sender's* ctx). Its
@@ -92,29 +122,56 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
   let wire_bytes = size + cfg.header_bytes in
   let base = base_latency t ~src ~dst in
   let now = Sim.Engine.now () in
+  let extra = match fault with Delay d when d > 0 -> d | _ -> 0 in
   if on_network then begin
     let ser = Config.bytes_time ~bw_bps:cfg.net_bandwidth_bps wire_bytes in
-    let tx_start, _tx_done = Sim.Resource.reserve src.Node.tx ~duration:ser in
-    let rx_start, rx_done =
-      Sim.Resource.reserve_at dst.Node.rx ~start:(tx_start + base)
-        ~duration:ser
-    in
-    if sp <> 0 then
-      Obs.Span.set_attr sp "q"
-        (string_of_int ((tx_start - now) + (rx_start - (tx_start + base))));
-    Sim.Engine.schedule (rx_done - now) deliver
+    let tx_start, tx_done = Sim.Resource.reserve src.Node.tx ~duration:ser in
+    match fault with
+    | Drop ->
+      (* serialized out of the sender's NIC, then lost in the switch *)
+      if sp <> 0 then begin
+        Obs.Span.set_attr sp "fault" "drop";
+        Sim.Engine.schedule (tx_done - now) (fun () -> Obs.Span.finish sp)
+      end
+    | Pass | Duplicate | Delay _ ->
+      let rx_start, rx_done =
+        Sim.Resource.reserve_at dst.Node.rx ~start:(tx_start + base)
+          ~duration:ser
+      in
+      if sp <> 0 then
+        Obs.Span.set_attr sp "q"
+          (string_of_int ((tx_start - now) + (rx_start - (tx_start + base))));
+      Sim.Engine.schedule (rx_done + extra - now) deliver;
+      (match fault with
+      | Duplicate ->
+        Sim.Engine.schedule (rx_done + extra + base - now) dup_deliver
+      | _ -> ())
   end
   else begin
     (* intra-machine: loopback QP / PCIe DMA, off the switch *)
     let ser = Config.bytes_time ~bw_bps:cfg.pcie_bandwidth_bps wire_bytes in
     let dma_start, dma_done = Sim.Resource.reserve src.Node.dma ~duration:ser in
-    if sp <> 0 then Obs.Span.set_attr sp "q" (string_of_int (dma_start - now));
-    Sim.Engine.schedule (dma_done + base - now) deliver
+    match fault with
+    | Drop ->
+      if sp <> 0 then begin
+        Obs.Span.set_attr sp "fault" "drop";
+        Sim.Engine.schedule (dma_done - now) (fun () -> Obs.Span.finish sp)
+      end
+    | Pass | Duplicate | Delay _ ->
+      if sp <> 0 then
+        Obs.Span.set_attr sp "q" (string_of_int (dma_start - now));
+      Sim.Engine.schedule (dma_done + base + extra - now) deliver;
+      (match fault with
+      | Duplicate ->
+        Sim.Engine.schedule (dma_done + base + extra + base - now) dup_deliver
+      | _ -> ())
   end
 
 let transfer t ~src ~dst ?cls ~size () =
   let done_ = Sim.Ivar.create () in
-  send t ~src ~dst ?cls ~size (fun () -> Sim.Ivar.fill done_ ());
+  (* try_fill: a duplicated message (fault injection) may deliver twice *)
+  send t ~src ~dst ?cls ~size (fun () ->
+      ignore (Sim.Ivar.try_fill done_ ()));
   Sim.Ivar.await done_
 
 type utilization = {
@@ -152,7 +209,7 @@ let transfer_chunked t ~src ~dst ?cls ~size ?chunk () =
       let n = min chunk (size - off) in
       let last = off + n >= size in
       send t ~src ~dst ?cls ~size:n (fun () ->
-          if last then Sim.Ivar.fill done_ ());
+          if last then ignore (Sim.Ivar.try_fill done_ ()));
       if not last then post (off + n)
     in
     post 0;

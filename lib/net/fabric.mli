@@ -24,6 +24,31 @@ val stats : t -> Stats.t
 val set_tracer : t -> (Trace.event -> unit) option -> unit
 (** Install (or remove) a message tracer; see {!Trace}. *)
 
+(** {2 Fault injection}
+
+    A fault hook is consulted once per {!send}, in deterministic message
+    order, and decides the fate of that message. Faults model a lossy RDMA
+    fabric: the link layer may drop a packet (sender-side retransmission is
+    the {e caller's} job, via timeouts), deliver it twice (stale
+    retransmission — receivers deduplicate at the {!Endpoint} layer), or
+    delay it. *)
+
+type fault =
+  | Pass  (** deliver normally *)
+  | Drop  (** serialized out of the sender's NIC, then lost *)
+  | Duplicate
+      (** delivered twice: once normally, and a second copy one base
+          latency later *)
+  | Delay of Sim.Time.t  (** delivered with this much extra latency *)
+
+type fault_hook =
+  src:Node.t -> dst:Node.t -> cls:Stats.cls -> size:int -> fault
+
+val set_fault_hook : t -> fault_hook option -> unit
+(** Install (or remove) the fault hook. [None] (the default) means a
+    perfect fabric. Injected faults are counted in the per-node
+    [net.fault_drops] / [net.fault_dups] / [net.fault_delays] metrics. *)
+
 type utilization = {
   u_node : string;
   u_tx : float;  (** fraction of elapsed time the TX engine was busy *)
@@ -66,7 +91,10 @@ val send :
 
 val transfer :
   t -> src:Node.t -> dst:Node.t -> ?cls:Stats.cls -> size:int -> unit -> unit
-(** Blocking variant of {!send}: returns when the message has arrived. *)
+(** Blocking variant of {!send}: returns when the message has arrived.
+    Duplicate-safe under fault injection; if the message is {e dropped} the
+    caller blocks forever, so fault-injected code should wrap transfers in
+    a timeout (see [Fault.Retry]). *)
 
 val transfer_chunked :
   t ->

@@ -5,7 +5,7 @@ type t = {
   mutable now : int;
   mutable seq : int;
   mutable fibers : int;
-  mutable failure : exn option;
+  mutable failure : (bool * exn) option; (* (from_root_fiber, exn) *)
   mutable main_done : bool;
   mutable ctx : int; (* fiber-local trace context, 0 = none *)
 }
@@ -34,15 +34,23 @@ type _ Effect.t +=
    suspends (or a closure is scheduled) and restored right before the
    continuation resumes, so each fiber keeps its own ambient context no
    matter how events interleave. *)
-let exec t f =
+(* First failure wins within an origin class, but a failure coming from the
+   root fiber outranks one recorded earlier by a background fiber at the
+   same instant: abandoned server fibers (e.g. of a crashed controller)
+   must not mask the root fiber's own error. *)
+let record_failure t ~root e =
+  match t.failure with
+  | None -> t.failure <- Some (root, e)
+  | Some (false, _) when root -> t.failure <- Some (root, e)
+  | Some _ -> ()
+
+let exec t ?(root = false) f =
   let open Effect.Deep in
   t.fibers <- t.fibers + 1;
   match_with f ()
     {
       retc = (fun () -> ());
-      exnc =
-        (fun e ->
-          if t.failure = None then t.failure <- Some e);
+      exnc = (fun e -> record_failure t ~root e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -89,30 +97,38 @@ let run ?(name = "main") main =
   let finally () = current := None in
   Fun.protect ~finally (fun () ->
       schedule_at t ~time:0 (fun () ->
-          exec t (fun () ->
+          exec t ~root:true (fun () ->
               let v = main () in
               result := Some v;
               t.main_done <- true));
+      (* After a failure is recorded, keep draining events scheduled for
+         the *same* instant before raising: the root fiber may be queued
+         right behind the failing background fiber, and its own error (or
+         completion) is the one the caller should see. Events at a later
+         time never run once a failure exists. *)
       let rec loop () =
-        match t.failure with
-        | Some e -> raise e
-        | None -> (
-          match Heap.pop t.heap with
-          | None -> ()
-          | Some (time, _seq, run_event) ->
+        match Heap.pop t.heap with
+        | None -> ()
+        | Some (time, _seq, run_event) ->
+          if t.failure <> None && time > t.now then ()
+          else begin
             t.now <- time;
-            run_event ();
-            loop ())
+            (try run_event () with e -> record_failure t ~root:false e);
+            loop ()
+          end
       in
       loop ();
-      match !result with
-      | Some v -> v
-      | None ->
-        raise
-          (Deadlock
-             (Printf.sprintf
-                "engine quiesced at t=%s but fiber %S never finished"
-                (Time.to_string t.now) name)))
+      match t.failure with
+      | Some (_, e) -> raise e
+      | None -> (
+        match !result with
+        | Some v -> v
+        | None ->
+          raise
+            (Deadlock
+               (Printf.sprintf
+                  "engine quiesced at t=%s but fiber %S never finished"
+                  (Time.to_string t.now) name))))
 
 let now () = (get ()).now
 let sleep d = Effect.perform (Sleep d)

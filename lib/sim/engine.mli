@@ -26,7 +26,10 @@ val run : ?name:string -> (unit -> 'a) -> 'a
     channels at that point are simply abandoned (they model server loops).
     If the root fiber itself can no longer make progress, raises
     {!Deadlock}. Any exception escaping a fiber aborts the whole run and is
-    re-raised here. Engines do not nest. *)
+    re-raised here; when several fibers fail at the same instant, an error
+    from the root fiber outranks errors from background fibers (abandoned
+    server fibers must not mask the root's own failure), and a recorded
+    failure always outranks {!Deadlock}. Engines do not nest. *)
 
 val now : unit -> Time.t
 (** Current simulated time. *)

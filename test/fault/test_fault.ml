@@ -1,0 +1,443 @@
+(* Tests for the fault-injection subsystem: spec parsing, plan generation,
+   the retry policy, and the chaos harness itself. *)
+
+open Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+module Tb = Fractos_testbed.Testbed
+module Svc = Fractos_services.Svc
+open Fractos_fault
+
+let ok_exn = Core.Error.ok_exn
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_special_forms () =
+  (match Spec.of_string "default" with
+  | Ok s -> check_bool "default" true (s = Spec.default)
+  | Error e -> Alcotest.fail e);
+  (match Spec.of_string "" with
+  | Ok s -> check_bool "empty = default" true (s = Spec.default)
+  | Error e -> Alcotest.fail e);
+  (match Spec.of_string "none" with
+  | Ok s -> check_bool "none" true (s = Spec.none)
+  | Error e -> Alcotest.fail e);
+  (* overrides apply on top of [none] *)
+  match Spec.of_string "drop=0.25,crash=2,delay=30us" with
+  | Ok s ->
+    check_bool "drop" true (s.Spec.s_drop = 0.25);
+    check_int "crash" 2 s.Spec.s_crashes;
+    check_int "delay" (Time.us 30) s.Spec.s_delay;
+    check_int "others stay none" 0 s.Spec.s_partitions
+  | Error e -> Alcotest.fail e
+
+let test_spec_parse_errors () =
+  let bad str =
+    match Spec.of_string str with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" str
+  in
+  bad "frobnicate=1";
+  bad "drop=1.5";
+  bad "drop=-0.1";
+  bad "crash=-1";
+  bad "delay=30";
+  bad "delay=fast";
+  bad "drop";
+  bad "crash=1,,"
+
+let test_spec_lossless () =
+  check_bool "none lossless" true (Spec.lossless Spec.none);
+  check_bool "default lossy" false (Spec.lossless Spec.default);
+  let s = { Spec.none with Spec.s_dup = 0.5; s_delay_p = 0.5; s_crashes = 3 } in
+  check_bool "dup/delay/crash still lossless" true (Spec.lossless s);
+  check_bool "partition is lossy" false
+    (Spec.lossless { Spec.none with Spec.s_partitions = 1 });
+  check_bool "lossy link with zero drop is lossless" true
+    (Spec.lossless { Spec.none with Spec.s_lossy_links = 2 })
+
+let gen_prob = QCheck.Gen.map (fun n -> float_of_int n /. 1000.) QCheck.Gen.(0 -- 1000)
+
+let gen_time =
+  QCheck.Gen.(
+    oneof
+      [
+        map Time.ns (0 -- 999);
+        map Time.us (1 -- 999);
+        map Time.ms (1 -- 20);
+      ])
+
+let gen_spec =
+  QCheck.Gen.(
+    gen_prob >>= fun s_drop ->
+    gen_prob >>= fun s_dup ->
+    gen_prob >>= fun s_delay_p ->
+    gen_time >>= fun s_delay ->
+    0 -- 4 >>= fun s_crashes ->
+    gen_time >>= fun s_reboot_after ->
+    0 -- 3 >>= fun s_partitions ->
+    gen_time >>= fun s_partition_len ->
+    0 -- 3 >>= fun s_stalls ->
+    gen_time >>= fun s_stall_len ->
+    0 -- 3 >>= fun s_lossy_links ->
+    gen_prob >>= fun s_lossy_drop ->
+    map Time.ms (1 -- 50) >>= fun s_horizon ->
+    return
+      {
+        Spec.s_drop;
+        s_dup;
+        s_delay_p;
+        s_delay;
+        s_crashes;
+        s_reboot_after;
+        s_partitions;
+        s_partition_len;
+        s_stalls;
+        s_stall_len;
+        s_lossy_links;
+        s_lossy_drop;
+        s_horizon;
+      })
+
+let arb_spec = QCheck.make ~print:Spec.to_string gen_spec
+
+let qcheck_spec_roundtrip =
+  QCheck.Test.make ~name:"spec to_string/of_string round-trips" ~count:300
+    arb_spec (fun s ->
+      match Spec.of_string (Spec.to_string s) with
+      | Ok s' -> s' = s
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Plan                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_plan_deterministic =
+  QCheck.Test.make ~name:"plan generation is deterministic per seed" ~count:50
+    QCheck.(pair (QCheck.make gen_spec) small_nat)
+    (fun (spec, seed) ->
+      let a = Plan.generate ~spec ~seed ~n_ctrls:4 ~n_nodes:4 in
+      let b = Plan.generate ~spec ~seed ~n_ctrls:4 ~n_nodes:4 in
+      Plan.equal a b && Plan.to_lines a = Plan.to_lines b)
+
+let qcheck_plan_well_formed =
+  QCheck.Test.make ~name:"plan events are sorted, bounded and well-formed"
+    ~count:100
+    QCheck.(pair (QCheck.make gen_spec) small_nat)
+    (fun (spec, seed) ->
+      let n_ctrls = 4 and n_nodes = 4 in
+      let pl = Plan.generate ~spec ~seed ~n_ctrls ~n_nodes in
+      let start = function
+        | Plan.Crash { at; _ } | Plan.Reboot { at; _ } | Plan.Stall { at; _ }
+          ->
+          at
+        | Plan.Partition { from_; _ } -> from_
+      in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> start a <= start b && sorted rest
+        | _ -> true
+      in
+      sorted pl.Plan.pl_events
+      && List.for_all
+           (function
+             | Plan.Crash { at; ctrl } ->
+               at >= 0 && at < spec.Spec.s_horizon && ctrl >= 0
+               && ctrl < n_ctrls
+             | Plan.Reboot { at; ctrl } ->
+               at >= 0 && ctrl >= 0 && ctrl < n_ctrls
+             | Plan.Partition { from_; until; island } ->
+               from_ >= 0
+               && until = from_ + spec.Spec.s_partition_len
+               && island <> []
+               && List.length island < n_nodes
+               && List.for_all (fun i -> i >= 0 && i < n_nodes) island
+             | Plan.Stall { at; until; node } ->
+               at >= 0
+               && until = at + spec.Spec.s_stall_len
+               && node >= 0 && node < n_nodes)
+           pl.Plan.pl_events)
+
+let test_plan_structure () =
+  let pl = Plan.generate ~spec:Spec.default ~seed:42 ~n_ctrls:4 ~n_nodes:4 in
+  let crashes =
+    List.filter_map
+      (function Plan.Crash { at; ctrl } -> Some (at, ctrl) | _ -> None)
+      pl.Plan.pl_events
+  in
+  let reboots =
+    List.filter_map
+      (function Plan.Reboot { at; ctrl } -> Some (at, ctrl) | _ -> None)
+      pl.Plan.pl_events
+  in
+  check_int "one crash" 1 (List.length crashes);
+  check_int "one reboot" 1 (List.length reboots);
+  let cat, cctrl = List.hd crashes and rat, rctrl = List.hd reboots in
+  check_int "reboot follows its crash" (cat + Spec.default.Spec.s_reboot_after)
+    rat;
+  check_int "same controller" cctrl rctrl;
+  check_int "one lossy link" 1 (List.length pl.Plan.pl_lossy);
+  let a, b = List.hd pl.Plan.pl_lossy in
+  check_bool "lossy pair ordered distinct" true (a < b && b < 4);
+  (* no reboot events when reboot_after is zero: crashed controllers stay
+     down *)
+  let spec = { Spec.default with Spec.s_reboot_after = 0 } in
+  let pl = Plan.generate ~spec ~seed:42 ~n_ctrls:4 ~n_nodes:4 in
+  check_int "no reboots" 0
+    (List.length
+       (List.filter
+          (function Plan.Reboot _ -> true | _ -> false)
+          pl.Plan.pl_events))
+
+let test_plan_degenerate_topology () =
+  (* tiny topologies must not crash plan generation (Prng.int bound > 0) *)
+  let pl = Plan.generate ~spec:Spec.default ~seed:7 ~n_ctrls:0 ~n_nodes:1 in
+  check_bool "no crash events without controllers" true
+    (List.for_all
+       (function Plan.Crash _ | Plan.Reboot _ -> false | _ -> true)
+       pl.Plan.pl_events);
+  check_bool "no partitions on one node" true
+    (List.for_all
+       (function Plan.Partition _ -> false | _ -> true)
+       pl.Plan.pl_events);
+  check_int "no lossy links" 0 (List.length pl.Plan.pl_lossy)
+
+(* ------------------------------------------------------------------ *)
+(* Retry                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_retry_backoff_golden () =
+  (* base 10us doubling to the 640us cap: the documented golden sequence *)
+  let expected = [ 10; 20; 40; 80; 160; 320; 640; 640 ] in
+  List.iteri
+    (fun i us ->
+      check_int
+        (Printf.sprintf "backoff after attempt %d" (i + 1))
+        (Time.us us)
+        (Retry.backoff Retry.default ~attempt:(i + 1)))
+    expected
+
+let test_retry_budget_exhaustion () =
+  Engine.run (fun () ->
+      Retry.reset_counters ();
+      let attempts = ref 0 in
+      let r =
+        Retry.run
+          ~policy:
+            {
+              Retry.p_attempts = 4;
+              p_timeout = Time.ms 1;
+              p_backoff_base = Time.us 10;
+              p_backoff_cap = Time.us 40;
+            }
+          (fun () ->
+            incr attempts;
+            Error Core.Error.Timeout)
+      in
+      check_bool "returns the typed error, never raises" true
+        (r = Error Core.Error.Timeout);
+      check_int "exactly p_attempts attempts" 4 !attempts;
+      check_int "three retry sleeps counted" 3 (Retry.retries ()))
+
+let test_retry_transient_then_ok () =
+  Engine.run (fun () ->
+      let n = ref 0 in
+      let refreshed = ref 0 in
+      let r =
+        Retry.run
+          ~refresh:(fun e ->
+            if e = Core.Error.Stale then incr refreshed)
+          (fun () ->
+            incr n;
+            if !n < 3 then Error Core.Error.Stale else Ok "done")
+      in
+      check_bool "eventual success" true (r = Ok "done");
+      check_int "two failures before success" 3 !n;
+      check_int "refresh ran on each stale" 2 !refreshed)
+
+let test_retry_permanent_error_stops () =
+  Engine.run (fun () ->
+      let n = ref 0 in
+      let r =
+        Retry.run (fun () ->
+            incr n;
+            Error Core.Error.Perm_denied)
+      in
+      check_bool "error surfaced" true (r = Error Core.Error.Perm_denied);
+      check_int "no retries on a permanent error" 1 !n)
+
+let test_retry_timeout_converts_hang () =
+  Engine.run (fun () ->
+      let t0 = Engine.now () in
+      let r =
+        Retry.with_timeout ~timeout:(Time.us 50) (fun () ->
+            Engine.sleep (Time.s 10);
+            Ok ())
+      in
+      check_bool "hang became Timeout" true (r = Error Core.Error.Timeout);
+      check_int "gave up at the deadline" (Time.us 50) (Engine.now () - t0);
+      (* a raising operation is converted to a typed error, not an escape *)
+      let r =
+        Retry.with_timeout ~timeout:(Time.ms 1) (fun () ->
+            raise (Core.Error.Fractos Core.Error.Bounds))
+      in
+      check_bool "raise became Error" true (r = Error Core.Error.Bounds))
+
+(* ------------------------------------------------------------------ *)
+(* Fabric duplication end-to-end: no duplicate side effects            *)
+(* ------------------------------------------------------------------ *)
+
+let test_duplicated_invoke_single_side_effect () =
+  Tb.run (fun tb ->
+      let setups = Tb.nodes_with_ctrls tb Tb.Ctrl_cpu [ "a"; "b" ] in
+      let sa = List.nth setups 0 and sb = List.nth setups 1 in
+      let pa = Tb.add_proc tb ~on:sa.Tb.node ~ctrl:sa.Tb.ctrl "client" in
+      let pb = Tb.add_proc tb ~on:sb.Tb.node ~ctrl:sb.Tb.ctrl "server" in
+      let client = Svc.create pa and server = Svc.create pb in
+      let effects = ref 0 in
+      Svc.handle server ~tag:"incr" (fun svc d ->
+          incr effects;
+          Svc.reply svc d ~status:!effects ());
+      let svc =
+        Tb.grant ~src:pb ~dst:pa
+          (ok_exn (Core.Api.request_create pb ~tag:"incr" ()))
+      in
+      (* duplicate every single fabric message *)
+      Net.Fabric.set_fault_hook tb.Tb.fabric
+        (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Net.Fabric.Duplicate));
+      for i = 1 to 5 do
+        let d = ok_exn (Svc.call client ~svc ()) in
+        check_int "reply status is the effect count" i (Svc.status d)
+      done;
+      Net.Fabric.set_fault_hook tb.Tb.fabric None;
+      check_int "handler ran once per logical invoke" 5 !effects)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_chaos ?(spec = Spec.none) ?(workload = Chaos.Mixed) seed =
+  Chaos.run ~clients:4 ~requests:8 ~workload ~spec ~seed ()
+
+let test_chaos_clean_run () =
+  let r = small_chaos 1 in
+  check_bool "no violations" true (Chaos.passed r);
+  check_int "all requests ok" 8 r.Chaos.r_ok;
+  check_int "no retries without faults" 0 r.Chaos.r_retries;
+  check_bool "audit saw traffic" true (r.Chaos.r_audit_events > 0);
+  List.iter
+    (fun (id, epoch, live, tomb) ->
+      check_int (Printf.sprintf "ctrl %d epoch" id) 0 epoch;
+      check_int (Printf.sprintf "ctrl %d tombstones" id) 0 tomb;
+      check_bool (Printf.sprintf "ctrl %d live sane" id) true (live >= 0))
+    r.Chaos.r_ctrls
+
+let test_chaos_deterministic () =
+  let spec =
+    match Spec.of_string "drop=0.01,dup=0.01,crash=1,reboot=400us" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let a = small_chaos ~spec 7 in
+  let b = small_chaos ~spec 7 in
+  check_string "same audit digest" a.Chaos.r_audit_digest
+    b.Chaos.r_audit_digest;
+  check_bool "bit-identical report" true (Chaos.to_lines a = Chaos.to_lines b);
+  check_int "same outcome count" a.Chaos.r_ok b.Chaos.r_ok;
+  check_int "same retry count" a.Chaos.r_retries b.Chaos.r_retries;
+  (* a different seed perturbs the run *)
+  let c = small_chaos ~spec 8 in
+  check_bool "different seed, different digest" true
+    (a.Chaos.r_audit_digest <> c.Chaos.r_audit_digest)
+
+let test_chaos_default_spec_invariants () =
+  let r = small_chaos ~spec:Spec.default 3 in
+  check_bool
+    (String.concat "; " r.Chaos.r_violations)
+    true (Chaos.passed r);
+  (* every request either completed or surfaced a typed error *)
+  let errs = List.fold_left (fun n (_, c) -> n + c) 0 r.Chaos.r_errors in
+  check_int "ok + errors = requests" r.Chaos.r_requests (r.Chaos.r_ok + errs)
+
+let test_chaos_crash_epoch_bump () =
+  (* an early crash+reboot must leave the victim controller at epoch 1 and
+     the stale-rejection invariants intact, across all three workloads *)
+  let spec =
+    match Spec.of_string "crash=1,reboot=200us,horizon=500us" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun workload ->
+      let r = small_chaos ~spec ~workload 2 in
+      check_bool
+        (Printf.sprintf "workload %s: %s"
+           (Chaos.workload_to_string workload)
+           (String.concat "; " r.Chaos.r_violations))
+        true (Chaos.passed r);
+      check_bool "some controller rebooted" true
+        (List.exists (fun (_, epoch, _, _) -> epoch = 1) r.Chaos.r_ctrls))
+    [ Chaos.Faceverify; Chaos.Fs; Chaos.Mixed ]
+
+let test_chaos_report_shape () =
+  let r = small_chaos 5 in
+  let lines = Chaos.to_lines r in
+  check_bool "report leads with the seed" true
+    (String.length (List.hd lines) > 0
+    && String.sub (List.hd lines) 0 10 = "chaos seed");
+  check_bool "report ends with a result line" true
+    (List.exists (fun l -> l = "result: OK") lines);
+  check_bool "spec echoed canonically" true
+    (List.exists (fun l -> l = "spec: " ^ Spec.to_string Spec.none) lines)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "special forms" `Quick test_spec_special_forms;
+          Alcotest.test_case "parse errors" `Quick test_spec_parse_errors;
+          Alcotest.test_case "lossless predicate" `Quick test_spec_lossless;
+          qtest qcheck_spec_roundtrip;
+        ] );
+      ( "plan",
+        [
+          qtest qcheck_plan_deterministic;
+          qtest qcheck_plan_well_formed;
+          Alcotest.test_case "structure" `Quick test_plan_structure;
+          Alcotest.test_case "degenerate topology" `Quick
+            test_plan_degenerate_topology;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff golden sequence" `Quick
+            test_retry_backoff_golden;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_retry_budget_exhaustion;
+          Alcotest.test_case "transient then ok" `Quick
+            test_retry_transient_then_ok;
+          Alcotest.test_case "permanent error stops" `Quick
+            test_retry_permanent_error_stops;
+          Alcotest.test_case "timeout converts hang" `Quick
+            test_retry_timeout_converts_hang;
+          Alcotest.test_case "duplicated invoke, one side effect" `Quick
+            test_duplicated_invoke_single_side_effect;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "clean run" `Quick test_chaos_clean_run;
+          Alcotest.test_case "deterministic" `Quick test_chaos_deterministic;
+          Alcotest.test_case "default spec invariants" `Quick
+            test_chaos_default_spec_invariants;
+          Alcotest.test_case "crash bumps epoch" `Quick
+            test_chaos_crash_epoch_bump;
+          Alcotest.test_case "report shape" `Quick test_chaos_report_shape;
+        ] );
+    ]

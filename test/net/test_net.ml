@@ -245,6 +245,89 @@ let test_endpoint_pending () =
       check_bool "fifo" true (Endpoint.try_recv ep = Some 1))
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_drop () =
+  with_fabric (fun fab ->
+      let a, b, _ = three_nodes fab in
+      Fabric.set_fault_hook fab
+        (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Fabric.Drop));
+      let arrived = ref false in
+      Fabric.send fab ~src:a ~dst:b ~size:64 (fun () -> arrived := true);
+      Engine.sleep (Time.ms 10);
+      check_bool "dropped message never arrives" false !arrived)
+
+let test_fault_delay () =
+  let arrival ~fault =
+    with_fabric (fun fab ->
+        let a, b, _ = three_nodes fab in
+        Fabric.set_fault_hook fab
+          (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> fault));
+        let at = ref 0 in
+        Fabric.send fab ~src:a ~dst:b ~size:64 (fun () -> at := Engine.now ());
+        Engine.sleep (Time.ms 10);
+        !at)
+  in
+  let base = arrival ~fault:Fabric.Pass in
+  let extra = Time.us 7 in
+  check_int "delay adds exactly the extra latency" (base + extra)
+    (arrival ~fault:(Fabric.Delay extra))
+
+let test_fault_duplicate_delivers_twice () =
+  let n =
+    with_fabric (fun fab ->
+        let a, b, _ = three_nodes fab in
+        Fabric.set_fault_hook fab
+          (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Fabric.Duplicate));
+        let n = ref 0 in
+        Fabric.send fab ~src:a ~dst:b ~size:64 (fun () -> incr n);
+        Engine.sleep (Time.ms 10);
+        !n)
+  in
+  check_int "raw callback runs twice" 2 n
+
+let test_fault_hook_removable () =
+  let arrived =
+    with_fabric (fun fab ->
+        let a, b, _ = three_nodes fab in
+        Fabric.set_fault_hook fab
+          (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Fabric.Drop));
+        Fabric.set_fault_hook fab None;
+        let arrived = ref false in
+        Fabric.send fab ~src:a ~dst:b ~size:64 (fun () -> arrived := true);
+        Engine.sleep (Time.ms 10);
+        !arrived)
+  in
+  check_bool "hook removal restores delivery" true arrived
+
+let test_fault_transfer_duplicate_safe () =
+  with_fabric (fun fab ->
+      let a, b, _ = three_nodes fab in
+      Fabric.set_fault_hook fab
+        (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Fabric.Duplicate));
+      (* must not raise on the second fill of the completion ivar *)
+      Fabric.transfer fab ~src:a ~dst:b ~size:256 ();
+      Engine.sleep (Time.ms 10))
+
+let test_endpoint_dedups_duplicates () =
+  with_fabric (fun fab ->
+      let a, b, _ = three_nodes fab in
+      let ep = Endpoint.create ~node:b "b-svc" in
+      Fabric.set_fault_hook fab
+        (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Fabric.Duplicate));
+      Endpoint.post fab ~src:a ep ~size:64 "once";
+      Engine.sleep (Time.ms 10);
+      check_int "one copy visible to receiver" 1 (Endpoint.pending ep);
+      check_bool "payload intact" true (Endpoint.try_recv ep = Some "once");
+      (* distinct messages are not confused with retransmissions *)
+      Fabric.set_fault_hook fab None;
+      Endpoint.post fab ~src:a ep ~size:64 "two";
+      Endpoint.post fab ~src:a ep ~size:64 "three";
+      Engine.sleep (Time.ms 10);
+      check_int "later messages still flow" 2 (Endpoint.pending ep))
+
+(* ------------------------------------------------------------------ *)
 (* Trace                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -400,6 +483,18 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_endpoint_roundtrip;
           Alcotest.test_case "pending" `Quick test_endpoint_pending;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "drop" `Quick test_fault_drop;
+          Alcotest.test_case "delay" `Quick test_fault_delay;
+          Alcotest.test_case "duplicate" `Quick
+            test_fault_duplicate_delivers_twice;
+          Alcotest.test_case "hook removable" `Quick test_fault_hook_removable;
+          Alcotest.test_case "transfer duplicate-safe" `Quick
+            test_fault_transfer_duplicate_safe;
+          Alcotest.test_case "endpoint dedup" `Quick
+            test_endpoint_dedups_duplicates;
         ] );
       ( "trace",
         [

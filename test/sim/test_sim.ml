@@ -220,6 +220,62 @@ let test_engine_deadlock_detected () =
   | () -> Alcotest.fail "expected Deadlock"
   | exception Engine.Deadlock _ -> ()
 
+(* Regression: when an abandoned background fiber and the root fiber both
+   fail at the same instant (background first in FIFO order), the root
+   fiber's error must be the one that surfaces. *)
+let test_engine_root_error_wins_same_instant () =
+  let failing () =
+    ignore
+      (Engine.run (fun () ->
+           Engine.spawn (fun () ->
+               Engine.sleep 10;
+               failwith "abandoned server");
+           Engine.yield ();
+           Engine.sleep 10;
+           failwith "root"))
+  in
+  Alcotest.check_raises "root error surfaces" (Failure "root") failing
+
+(* Regression: an exception from a raw scheduled event queued ahead of the
+   root fiber at the same instant must not preempt the root's own error. *)
+let test_engine_raw_event_error_does_not_mask_root () =
+  let failing () =
+    ignore
+      (Engine.run (fun () ->
+           Engine.schedule 10 (fun () -> failwith "raw");
+           Engine.sleep 10;
+           failwith "root"))
+  in
+  Alcotest.check_raises "root error outranks raw event" (Failure "root")
+    failing
+
+(* Regression: a recorded fiber failure outranks Deadlock when the queue
+   then drains with the root fiber still blocked. *)
+let test_engine_failure_preferred_over_deadlock () =
+  let failing () =
+    ignore
+      (Engine.run (fun () ->
+           Engine.spawn (fun () ->
+               Engine.sleep 5;
+               failwith "background");
+           let iv : unit Ivar.t = Ivar.create () in
+           Ivar.await iv))
+  in
+  Alcotest.check_raises "background failure, not Deadlock"
+    (Failure "background") failing
+
+(* After a failure, events scheduled for a later instant never run. *)
+let test_engine_stops_after_failure_instant () =
+  let late = ref false in
+  (try
+     ignore
+       (Engine.run (fun () ->
+            Engine.schedule 20 (fun () -> late := true);
+            Engine.sleep 10;
+            failwith "stop"))
+   with Failure _ -> ());
+  check_bool "later events not run" false !late
+
 let test_engine_schedule () =
   let fired = ref (-1) in
   ignore
@@ -821,6 +877,14 @@ let () =
           Alcotest.test_case "exception propagates" `Quick
             test_engine_exception_propagates;
           Alcotest.test_case "deadlock" `Quick test_engine_deadlock_detected;
+          Alcotest.test_case "root error wins instant" `Quick
+            test_engine_root_error_wins_same_instant;
+          Alcotest.test_case "raw event no mask" `Quick
+            test_engine_raw_event_error_does_not_mask_root;
+          Alcotest.test_case "failure beats deadlock" `Quick
+            test_engine_failure_preferred_over_deadlock;
+          Alcotest.test_case "stops after failure" `Quick
+            test_engine_stops_after_failure_instant;
           Alcotest.test_case "schedule" `Quick test_engine_schedule;
           Alcotest.test_case "no nesting" `Quick test_engine_no_nesting;
           Alcotest.test_case "outside raises" `Quick test_engine_outside_raises;
