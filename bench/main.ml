@@ -131,6 +131,19 @@ let () =
     | [] -> List.rev acc
   in
   let args = extract_breakdown [] args in
+  (* --loadcurve-json PATH / --tiny: saturation-sweep output and size
+     (consumed by the @bench-smoke alias) *)
+  let rec extract_loadcurve acc = function
+    | "--loadcurve-json" :: path :: rest ->
+      Exp_loadcurve.json_path := path;
+      extract_loadcurve acc rest
+    | "--tiny" :: rest ->
+      Exp_loadcurve.tiny := true;
+      extract_loadcurve acc rest
+    | a :: rest -> extract_loadcurve (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_loadcurve [] args in
   if List.mem "--list" args then
     List.iter (fun (n, _) -> print_endline n) experiments
   else begin

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Tiny load-curve smoke (the @bench-smoke dune alias): run the
+# controller-saturation sweep in --tiny mode and validate the emitted
+# BENCH_loadcurve.json — it must parse, carry both ablation variants
+# (fastpath-off, fastpath-on), list offered-load points in strictly
+# increasing order, and account every request as ok or error.
+#   bin/bench_smoke.sh <bench-main.exe>
+set -eu
+
+bench=$1
+
+tmp=$(mktemp -d /tmp/fractos-bench-smoke.XXXXXX)
+trap 'rm -rf "$tmp"' EXIT
+
+json="$tmp/BENCH_loadcurve.json"
+
+echo "== bench-smoke: loadcurve --tiny"
+"$bench" loadcurve --tiny --no-bechamel --loadcurve-json "$json" >/dev/null
+
+test -s "$json"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "loadcurve"
+variants = d["variants"]
+names = [v["name"] for v in variants]
+assert names == ["fastpath-off", "fastpath-on"], names
+for v in variants:
+    pts = v["points"]
+    assert pts, "variant %s has no points" % v["name"]
+    offered = [p["offered_rps"] for p in pts]
+    assert offered == sorted(offered) and len(set(offered)) == len(offered), \
+        "offered load not strictly increasing: %r" % offered
+    for p in pts:
+        assert p["ok"] + p["errors"] == p["n"], p
+        assert p["goodput_rps"] > 0, p
+EOF
+else
+  # Crude fallback: both variants present with at least one data point.
+  grep -q '"fastpath-off"' "$json"
+  grep -q '"fastpath-on"' "$json"
+  grep -q '"offered_rps"' "$json"
+fi
+
+echo "== bench-smoke OK"

@@ -23,4 +23,6 @@ fi
 
 sh bin/smoke.sh _build/default/bin/fractos.exe _build/default/bench/main.exe
 
+sh bin/bench_smoke.sh _build/default/bench/main.exe
+
 echo "== OK"

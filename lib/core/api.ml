@@ -27,60 +27,58 @@ let call_async (proc : proc) ~size build =
 let call proc ~size build = Sim.Ivar.await (call_async proc ~size build)
 
 (* Timed synchronous veneer: wraps the post-to-completion interval of one
-   named syscall in a span ("sys.<name>") and a per-node latency
-   histogram ("syscall.<name>"). *)
-let timed name (proc : proc) ~size build =
+   named syscall in a span ("sys.<name>") and the process's hoisted
+   latency histogram ("syscall.<name>", interned at Process.create). *)
+let timed name hist (proc : proc) ~size build =
   let node = proc.pnode.Net.Node.name in
   let t0 = Sim.Engine.now () in
   let r =
     Obs.Span.with_ ~node ~name:("sys." ^ name) (fun () ->
         call proc ~size build)
   in
-  Obs.Metrics.observe
-    (Obs.Metrics.histogram ~node ("syscall." ^ name))
-    (Sim.Engine.now () - t0);
+  Obs.Metrics.observe hist (Sim.Engine.now () - t0);
   r
 
 let null proc =
-  timed "null" proc ~size:(Wire.syscall ()) (fun reply -> Sys_null reply)
+  timed "null" proc.pm.pm_null proc ~size:(Wire.syscall ()) (fun reply ->
+      Sys_null reply)
 
 let memory_create proc ?(off = 0) ?len buf perms =
   let len = match len with Some l -> l | None -> Membuf.size buf - off in
-  timed "memory_create" proc ~size:(Wire.syscall ()) (fun reply ->
-      Sys_mem_create { buf; off; len; perms; reply })
+  timed "memory_create" proc.pm.pm_mem_create proc ~size:(Wire.syscall ())
+    (fun reply -> Sys_mem_create { buf; off; len; perms; reply })
 
 let memory_diminish proc cid ~off ~len ~drop =
-  timed "memory_diminish" proc ~size:(Wire.syscall ()) (fun reply ->
-      Sys_mem_diminish { cid; off; len; drop; reply })
+  timed "memory_diminish" proc.pm.pm_mem_diminish proc ~size:(Wire.syscall ())
+    (fun reply -> Sys_mem_diminish { cid; off; len; drop; reply })
 
 let memory_copy proc ~src ~dst =
-  timed "memory_copy" proc ~size:(Wire.syscall ~caps:2 ()) (fun reply ->
-      Sys_mem_copy { src; dst; reply })
+  timed "memory_copy" proc.pm.pm_mem_copy proc ~size:(Wire.syscall ~caps:2 ())
+    (fun reply -> Sys_mem_copy { src; dst; reply })
 
 let memory_copy_async proc ~src ~dst =
   call_async proc ~size:(Wire.syscall ~caps:2 ()) (fun reply ->
       Sys_mem_copy { src; dst; reply })
 
 let request_create proc ~tag ?(imms = []) ?(caps = []) () =
-  timed "request_create" proc
+  timed "request_create" proc.pm.pm_req_create proc
     ~size:(Wire.syscall ~imms ~caps:(List.length caps) ())
     (fun reply -> Sys_req_create { tag; imms; caps; reply })
 
 let request_derive proc parent ?(imms = []) ?(caps = []) () =
-  timed "request_derive" proc
+  timed "request_derive" proc.pm.pm_req_derive proc
     ~size:(Wire.syscall ~imms ~caps:(1 + List.length caps) ())
     (fun reply -> Sys_req_derive { parent; imms; caps; reply })
 
 let request_invoke proc cid =
-  timed "request_invoke" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
-      Sys_req_invoke { cid; reply })
+  timed "request_invoke" proc.pm.pm_req_invoke proc
+    ~size:(Wire.syscall ~caps:1 ()) (fun reply -> Sys_req_invoke { cid; reply })
 
 let request_invoke_async proc cid =
   call_async proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_req_invoke { cid; reply })
 
 let request_invoke_timeout proc ~timeout cid =
-  let node = proc.pnode.Net.Node.name in
   let t0 = Sim.Engine.now () in
   let iv =
     call_async proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
@@ -91,9 +89,7 @@ let request_invoke_timeout proc ~timeout cid =
     | Some r -> r
     | None -> Error Error.Timeout
   in
-  Obs.Metrics.observe
-    (Obs.Metrics.histogram ~node "syscall.request_invoke")
-    (Sim.Engine.now () - t0);
+  Obs.Metrics.observe proc.pm.pm_req_invoke (Sim.Engine.now () - t0);
   r
 
 let credit (proc : proc) =
@@ -116,19 +112,21 @@ let try_receive (proc : proc) =
   | None -> None
 
 let cap_create_revtree proc cid =
-  timed "cap_create_revtree" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
-      Sys_revtree_create { cid; reply })
+  timed "cap_create_revtree" proc.pm.pm_revtree proc
+    ~size:(Wire.syscall ~caps:1 ()) (fun reply -> Sys_revtree_create { cid; reply })
 
 let cap_revoke proc cid =
-  timed "cap_revoke" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
-      Sys_revoke { cid; reply })
+  timed "cap_revoke" proc.pm.pm_revoke proc ~size:(Wire.syscall ~caps:1 ())
+    (fun reply -> Sys_revoke { cid; reply })
 
 let monitor_delegate proc cid ~cb =
-  timed "monitor_delegate" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+  timed "monitor_delegate" proc.pm.pm_mon_delegate proc
+    ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_mon_delegate { cid; cb; reply })
 
 let monitor_receive proc cid ~cb =
-  timed "monitor_receive" proc ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
+  timed "monitor_receive" proc.pm.pm_mon_receive proc
+    ~size:(Wire.syscall ~caps:1 ()) (fun reply ->
       Sys_mon_receive { cid; cb; reply })
 
 let monitor_next (proc : proc) = Sim.Channel.recv proc.monitor_box

@@ -9,11 +9,12 @@ let config ctrl = Net.Fabric.config ctrl.fabric
 let kind ctrl = ctrl.cnode.Net.Node.kind
 let node_name ctrl = ctrl.cnode.Net.Node.name
 
-(* Observability: metrics are always on (integer arithmetic on interned
-   instruments); spans only when tracing is enabled, with the attribute
-   thunk left unevaluated otherwise. *)
-let g_captable ctrl = Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.captable"
-let g_revtree ctrl = Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.revtree"
+(* Observability: metrics are always on (integer arithmetic on handles
+   interned once at Controller.create — see State.ctrl_metrics); spans
+   only when tracing is enabled, with the attribute thunk left
+   unevaluated otherwise. *)
+let g_captable ctrl = ctrl.cm.cm_captable
+let g_revtree ctrl = ctrl.cm.cm_revtree
 
 let span ctrl ?(attrs = fun () -> []) name f =
   if Obs.Span.enabled () then
@@ -130,11 +131,25 @@ let insert_cap ?audit_detail ctrl space addr ~counts ~op =
         match peer_of_addr ctrl addr with
         | Some peer ->
           (* reliable tracking: wait for the owner's acknowledgment — the
-             critical-path cost the paper's design avoids *)
+             critical-path cost the paper's design avoids. The wait is
+             bounded: if the ack never arrives (owner crashed
+             mid-delegation, partition, message loss) the insertion
+             proceeds best-effort rather than blocking the delegation
+             forever; the owner's count may briefly overshoot, which only
+             delays a tombstone until its next reboot. *)
           let iv = Sim.Ivar.create () in
           send_peer ctrl peer ~size:Wire.credit
             (P_ref_inc { addr; reply = { rr_ivar = iv; rr_ctrl = ctrl } });
-          ignore (Sim.Ivar.await iv)
+          let timeout = cfg.peer_ack_timeout in
+          if timeout <= 0 then ignore (Sim.Ivar.await iv)
+          else (
+            match Sim.Ivar.await_timeout iv ~timeout with
+            | Some _ -> ()
+            | None ->
+              Obs.Metrics.incr ctrl.cm.cm_ref_inc_timeouts;
+              Logs.debug (fun m ->
+                  m "ref_inc ack from ctrl %d timed out; continuing"
+                    addr.a_ctrl))
         | None -> ());
     Ok cid
   end
@@ -146,6 +161,88 @@ let resolve_cid ctrl proc cid =
     match Hashtbl.find_opt space.cs_caps cid with
     | Some entry -> Ok entry
     | None -> Error Error.Invalid_cap)
+
+(* Translation fast path (Config.translation_cache): memoize cid -> entry
+   per capability space, stamped with the controller's capability
+   generation. Every entry removal (revoke, cleanup, process death) and
+   every reboot bumps the generation, invalidating all memos wholesale —
+   coarse, but it keeps invalidation off the revocation fast path and
+   makes a stale cached grant impossible by construction. Entries are
+   never replaced in place (cids are minted monotonically), so a valid
+   memo always aliases the live entry record. The object table's
+   epoch/validity checks still run on every use downstream, so a cached
+   translation can never outlive the object or epoch it names.
+
+   [charged_resolve ctrl proc ~base cids] charges [base] plus one Lookup
+   per cid and resolves the cids in order. With the memo off this is a
+   single combined charge (identical to the pre-cache cost model); with
+   it on, memo hits skip their Lookup charge — the class with the largest
+   SmartNIC multiplier, which is exactly where the paper's wimpy-core
+   controllers hurt. *)
+let memo_invalidate ctrl = ctrl.cap_gen <- ctrl.cap_gen + 1
+
+let resolve_cid_memo ctrl proc cid =
+  match space_of ctrl proc with
+  | Error _ as e -> (e, false)
+  | Ok space ->
+    if space.cs_memo_gen <> ctrl.cap_gen then begin
+      Hashtbl.reset space.cs_memo;
+      space.cs_memo_gen <- ctrl.cap_gen
+    end;
+    (match Hashtbl.find_opt space.cs_memo cid with
+    | Some entry ->
+      Obs.Metrics.incr ctrl.cm.cm_tcache_hits;
+      (Ok entry, true)
+    | None ->
+      Obs.Metrics.incr ctrl.cm.cm_tcache_misses;
+      (match Hashtbl.find_opt space.cs_caps cid with
+      | Some entry ->
+        Hashtbl.replace space.cs_memo cid entry;
+        (Ok entry, false)
+      | None -> (Error Error.Invalid_cap, false)))
+
+let charged_resolve ctrl proc ~base cids =
+  if not (config ctrl).translation_cache then begin
+    charge ctrl (base @ [ (Net.Cost.Lookup, List.length cids) ]);
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | cid :: rest -> (
+        match resolve_cid ctrl proc cid with
+        | Error _ as e -> e
+        | Ok entry -> go (entry :: acc) rest)
+    in
+    go [] cids
+  end
+  else begin
+    let misses = ref 0 in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | cid :: rest -> (
+        match resolve_cid_memo ctrl proc cid with
+        | (Error _ as e), _ ->
+          (* a failed translation still walked the table *)
+          incr misses;
+          e
+        | Ok entry, hit ->
+          if not hit then incr misses;
+          go (entry :: acc) rest)
+    in
+    let resolved = go [] cids in
+    charge ctrl (base @ [ (Net.Cost.Lookup, !misses) ]);
+    resolved
+  end
+
+let charged_resolve1 ctrl proc ~base cid =
+  match charged_resolve ctrl proc ~base [ cid ] with
+  | Error _ as e -> e
+  | Ok [ entry ] -> Ok entry
+  | Ok _ -> assert false
+
+let charged_resolve2 ctrl proc ~base a b =
+  match charged_resolve ctrl proc ~base [ a; b ] with
+  | Error _ as e -> e
+  | Ok [ ea; eb ] -> Ok (ea, eb)
+  | Ok _ -> assert false
 
 (* Resolve a list of capability arguments to (addr, monitored) pairs, where
    monitored records whether the argument came from a monitor_delegator
@@ -206,6 +303,8 @@ let apply_decrement ctrl addr =
 
 let drop_entry ctrl space cid (entry : entry) =
   Hashtbl.remove space.cs_caps cid;
+  (* any removal invalidates every translation memo (epoch-style bump) *)
+  memo_invalidate ctrl;
   Obs.Metrics.add (g_captable ctrl) (-1);
   audit ctrl Obs.Audit.Drop ~pid:space.cs_proc.pid ~cid
     ~detail:(fun () ->
@@ -409,9 +508,7 @@ let deliver ctrl (r : req) imms caps rr =
         rreply_opt ctrl rr (Error Error.Provider_dead)
       | Some window ->
         Sim.Semaphore.acquire window;
-        Obs.Metrics.incr
-          (Obs.Metrics.counter ~node:(node_name ctrl)
-             "ctrl.requests_delivered");
+        Obs.Metrics.incr ctrl.cm.cm_delivered;
         let size = Wire.invoke ~imms ~caps:(List.length caps) in
         Net.Fabric.send ctrl.fabric ~src:ctrl.cnode ~dst:provider.pnode ~size
           (once (fun () ->
@@ -659,8 +756,7 @@ let sys_mem_create ctrl ~caller buf ~off ~len perms (reply : int reply) =
     end
 
 let sys_mem_diminish ctrl ~caller cid ~off ~len ~drop (reply : int reply) =
-  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
-  match resolve_cid ctrl caller cid with
+  match charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid with
   | Error e -> reply_to ctrl reply (Error e)
   | Ok entry -> (
     let res =
@@ -682,10 +778,9 @@ let sys_mem_diminish ctrl ~caller cid ~off ~len ~drop (reply : int reply) =
 
 let sys_mem_copy ctrl ~caller ~src ~dst (reply : unit reply) =
   let cfg = config ctrl in
-  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 2) ];
-  match (resolve_cid ctrl caller src, resolve_cid ctrl caller dst) with
-  | Error e, _ | _, Error e -> reply_to ctrl reply (Error e)
-  | Ok src_e, Ok dst_e ->
+  match charged_resolve2 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] src dst with
+  | Error e -> reply_to ctrl reply (Error e)
+  | Ok (src_e, dst_e) ->
     let rr_iv = Sim.Ivar.create () in
     let rr = { rr_ivar = rr_iv; rr_ctrl = ctrl } in
     (if cfg.hw_copies then begin
@@ -798,8 +893,7 @@ let sys_req_derive ctrl ~caller ~parent ~imms ~caps (reply : int reply) =
                parent_entry.e_addr.a_oid)))
 
 let sys_req_invoke ctrl ~caller cid (reply : unit reply) =
-  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
-  match resolve_cid ctrl caller cid with
+  match charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid with
   | Error e -> reply_to ctrl reply (Error e)
   | Ok entry ->
     let rr_iv = Sim.Ivar.create () in
@@ -820,8 +914,10 @@ let sys_req_invoke ctrl ~caller cid (reply : unit reply) =
     reply_to ctrl reply result
 
 let sys_revtree_create ctrl ~caller cid (reply : int reply) =
-  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
-  match (space_of ctrl caller, resolve_cid ctrl caller cid) with
+  match
+    ( space_of ctrl caller,
+      charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid )
+  with
   | Error e, _ | _, Error e -> reply_to ctrl reply (Error e)
   | Ok space, Ok entry -> (
     let res =
@@ -837,8 +933,10 @@ let sys_revtree_create ctrl ~caller cid (reply : int reply) =
            ~audit_detail:(fun () -> "revtree")))
 
 let sys_revoke ctrl ~caller cid (reply : unit reply) =
-  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
-  match (space_of ctrl caller, resolve_cid ctrl caller cid) with
+  match
+    ( space_of ctrl caller,
+      charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid )
+  with
   | Error e, _ | _, Error e -> reply_to ctrl reply (Error e)
   | Ok space, Ok entry ->
     drop_entry ctrl space cid entry;
@@ -859,8 +957,7 @@ let sys_revoke ctrl ~caller cid (reply : unit reply) =
       reply_to ctrl reply res
 
 let sys_mon_delegate ctrl ~caller cid ~cb (reply : unit reply) =
-  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
-  match resolve_cid ctrl caller cid with
+  match charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid with
   | Error e -> reply_to ctrl reply (Error e)
   | Ok entry ->
     let register () =
@@ -890,8 +987,7 @@ let sys_mon_delegate ctrl ~caller cid ~cb (reply : unit reply) =
     reply_to ctrl reply res
 
 let sys_mon_receive ctrl ~caller cid ~cb (reply : unit reply) =
-  charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
-  match resolve_cid ctrl caller cid with
+  match charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid with
   | Error e -> reply_to ctrl reply (Error e)
   | Ok entry ->
     let register () =
@@ -962,19 +1058,18 @@ let handle_syscall ctrl msg =
        syscall counter and trace *)
     dispatch_syscall ctrl msg
   | _ ->
-    Obs.Metrics.incr
-      (Obs.Metrics.counter ~node:(node_name ctrl) "ctrl.syscalls");
-    Obs.Metrics.set
-      (Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.sys_backlog")
-      (Net.Endpoint.pending ctrl.sys_ep);
+    Obs.Metrics.incr ctrl.cm.cm_syscalls;
+    Obs.Metrics.set ctrl.cm.cm_sys_backlog (Net.Endpoint.pending ctrl.sys_ep);
     span ctrl ("ctrl." ^ syscall_name msg) (fun () ->
         dispatch_syscall ctrl msg)
 
-(* Reject a syscall at "transport level" when the controller has crashed:
-   the caller's QP times out; no controller software runs. *)
-let reject_syscall msg =
+(* Fail a syscall's reply path without running any controller software:
+   used when the controller has crashed (the caller's QP times out,
+   [Ctrl_unreachable]) and when the bounded request queue sheds at
+   admission ([Overloaded]). *)
+let fail_syscall err msg =
   let kill : type a. a reply -> unit =
-   fun r -> Sim.Ivar.fill r.r_ivar (Error Error.Ctrl_unreachable)
+   fun r -> ignore (Sim.Ivar.try_fill r.r_ivar (Error err))
   in
   match msg with
   | Sys_null r -> kill r
@@ -989,6 +1084,22 @@ let reject_syscall msg =
   | Sys_mon_delegate { reply; _ } -> kill reply
   | Sys_mon_receive { reply; _ } -> kill reply
   | Sys_credit _ -> ()
+
+(* Reject a syscall at "transport level" when the controller has crashed. *)
+let reject_syscall msg = fail_syscall Error.Ctrl_unreachable msg
+
+(* Admission control for the bounded syscall queue (receiver-not-ready,
+   as an RC QP would RNR-NAK): shed the request with a typed, retryable
+   [Overloaded] instead of queueing without limit. Flow-control credits
+   are never shed — losing one would leak a congestion-window slot
+   forever. *)
+let shed_syscall ctrl msg =
+  match msg with
+  | Sys_credit _ -> false
+  | _ ->
+    Obs.Metrics.incr ctrl.cm.cm_overloads;
+    fail_syscall Error.Overloaded msg;
+    true
 
 (* ------------------------------------------------------------------ *)
 (* Peer message handlers                                               *)
@@ -1132,10 +1243,8 @@ let peer_name = function
   | P_copy_chunk _ -> "copy_chunk"
 
 let handle_peer ctrl msg =
-  Obs.Metrics.incr (Obs.Metrics.counter ~node:(node_name ctrl) "ctrl.peer_msgs");
-  Obs.Metrics.set
-    (Obs.Metrics.gauge ~node:(node_name ctrl) "ctrl.peer_backlog")
-    (Net.Endpoint.pending ctrl.peer_ep);
+  Obs.Metrics.incr ctrl.cm.cm_peer_msgs;
+  Obs.Metrics.set ctrl.cm.cm_peer_backlog (Net.Endpoint.pending ctrl.peer_ep);
   span ctrl ("ctrl.peer." ^ peer_name msg) (fun () -> dispatch_peer ctrl msg)
 
 let reject_peer msg =
@@ -1168,25 +1277,53 @@ let reject_peer msg =
 let create fabric ~node =
   incr next_ctrl_id;
   let id = !next_ctrl_id in
-  {
-    ctrl_id = id;
-    cnode = node;
-    epoch = 0;
-    cpu = Sim.Resource.create ~servers:2 ();
-    sys_ep = Net.Endpoint.create ~node (Printf.sprintf "ctrl%d.sys" id);
-    peer_ep = Net.Endpoint.create ~node (Printf.sprintf "ctrl%d.peer" id);
-    objects = Hashtbl.create 64;
-    next_oid = 1;
-    capspaces = Hashtbl.create 8;
-    procs = Hashtbl.create 8;
-    peers = [];
-    fabric;
-    running = true;
-    windows = Hashtbl.create 8;
-    copy_sessions = Hashtbl.create 8;
-    copy_failures = Hashtbl.create 8;
-    copy_pending = Hashtbl.create 8;
-  }
+  let cfg = Net.Fabric.config fabric in
+  let nn = node.Net.Node.name in
+  let ctrl =
+    {
+      ctrl_id = id;
+      cnode = node;
+      epoch = 0;
+      cpu = Sim.Resource.create ~servers:2 ();
+      sys_ep =
+        (* the syscall queue carries the admission bound; the peer queue
+           stays unbounded — shedding the peer protocol (acks, copy
+           chunks) would wedge in-flight operations, and its volume is
+           already limited by the syscall admission upstream *)
+        Net.Endpoint.create ~node ~capacity:cfg.Net.Config.ctrl_queue_bound
+          (Printf.sprintf "ctrl%d.sys" id);
+      peer_ep = Net.Endpoint.create ~node (Printf.sprintf "ctrl%d.peer" id);
+      objects = Hashtbl.create 64;
+      next_oid = 1;
+      capspaces = Hashtbl.create 8;
+      procs = Hashtbl.create 8;
+      peers = [];
+      fabric;
+      running = true;
+      windows = Hashtbl.create 8;
+      copy_sessions = Hashtbl.create 8;
+      copy_failures = Hashtbl.create 8;
+      copy_pending = Hashtbl.create 8;
+      cap_gen = 0;
+      cm =
+        {
+          cm_captable = Obs.Metrics.gauge ~node:nn "ctrl.captable";
+          cm_revtree = Obs.Metrics.gauge ~node:nn "ctrl.revtree";
+          cm_syscalls = Obs.Metrics.counter ~node:nn "ctrl.syscalls";
+          cm_sys_backlog = Obs.Metrics.gauge ~node:nn "ctrl.sys_backlog";
+          cm_peer_msgs = Obs.Metrics.counter ~node:nn "ctrl.peer_msgs";
+          cm_peer_backlog = Obs.Metrics.gauge ~node:nn "ctrl.peer_backlog";
+          cm_delivered = Obs.Metrics.counter ~node:nn "ctrl.requests_delivered";
+          cm_overloads = Obs.Metrics.counter ~node:nn "ctrl.overloads";
+          cm_tcache_hits = Obs.Metrics.counter ~node:nn "ctrl.tcache_hits";
+          cm_tcache_misses = Obs.Metrics.counter ~node:nn "ctrl.tcache_misses";
+          cm_ref_inc_timeouts =
+            Obs.Metrics.counter ~node:nn "ctrl.ref_inc_timeouts";
+        };
+    }
+  in
+  Net.Endpoint.set_overflow ctrl.sys_ep (shed_syscall ctrl);
+  ctrl
 
 let connect ctrls =
   List.iter
@@ -1194,23 +1331,41 @@ let connect ctrls =
       c.peers <- List.filter (fun o -> o.ctrl_id <> c.ctrl_id) ctrls)
     ctrls
 
-let start ctrl =
-  Sim.Engine.spawn ~name:"ctrl.sys" (fun () ->
-      let rec loop () =
-        let msg = Net.Endpoint.recv ctrl.sys_ep in
-        if ctrl.running then Sim.Engine.spawn (fun () -> handle_syscall ctrl msg)
-        else reject_syscall msg;
-        loop ()
+(* Message-loop skeleton shared by the syscall and peer endpoints. One
+   blocking [recv] wakes the loop (paying the doorbell charge, if the
+   config splits one out of c_msg), then up to [ctrl_batch - 1] further
+   already-queued messages are drained with [try_recv] under the same
+   wakeup — doorbell coalescing. With the default knobs (batch = 1,
+   doorbell = 0) this is exactly the seed's recv/spawn loop. *)
+let service_loop ctrl ~name ep handle reject =
+  let cfg = config ctrl in
+  let batch = max 1 cfg.Net.Config.ctrl_batch in
+  let doorbell = cfg.Net.Config.c_doorbell in
+  Sim.Engine.spawn ~name (fun () ->
+      let dispatch msg =
+        if ctrl.running then Sim.Engine.spawn (fun () -> handle ctrl msg)
+        else reject msg
       in
-      loop ());
-  Sim.Engine.spawn ~name:"ctrl.peer" (fun () ->
       let rec loop () =
-        let msg = Net.Endpoint.recv ctrl.peer_ep in
-        if ctrl.running then Sim.Engine.spawn (fun () -> handle_peer ctrl msg)
-        else reject_peer msg;
+        let msg = Net.Endpoint.recv ep in
+        if doorbell > 0 then charge_scaled ctrl Net.Cost.Msg doorbell;
+        dispatch msg;
+        let rec drain k =
+          if k < batch then
+            match Net.Endpoint.try_recv ep with
+            | Some msg ->
+              dispatch msg;
+              drain (k + 1)
+            | None -> ()
+        in
+        drain 1;
         loop ()
       in
       loop ())
+
+let start ctrl =
+  service_loop ctrl ~name:"ctrl.sys" ctrl.sys_ep handle_syscall reject_syscall;
+  service_loop ctrl ~name:"ctrl.peer" ctrl.peer_ep handle_peer reject_peer
 
 let attach ctrl proc =
   (match proc.pctrl with
@@ -1219,7 +1374,13 @@ let attach ctrl proc =
   proc.pctrl <- Some ctrl;
   Hashtbl.replace ctrl.procs proc.pid proc;
   Hashtbl.replace ctrl.capspaces proc.pid
-    { cs_proc = proc; cs_next = 1; cs_caps = Hashtbl.create 16 };
+    {
+      cs_proc = proc;
+      cs_next = 1;
+      cs_caps = Hashtbl.create 16;
+      cs_memo = Hashtbl.create 16;
+      cs_memo_gen = ctrl.cap_gen;
+    };
   Hashtbl.replace ctrl.windows proc.pid
     (Sim.Semaphore.create (config ctrl).congestion_window)
 
@@ -1285,6 +1446,9 @@ let restart ctrl =
   Hashtbl.reset ctrl.copy_pending;
   ctrl.next_oid <- 1;
   ctrl.running <- true;
+  (* reboot invalidates every outstanding translation memo (the epoch
+     bump already invalidates the capabilities themselves) *)
+  memo_invalidate ctrl;
   (* the tables were reset wholesale: re-zero the incremental gauges *)
   Obs.Metrics.set (g_captable ctrl) 0;
   Obs.Metrics.set (g_revtree ctrl) 0

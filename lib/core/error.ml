@@ -9,6 +9,7 @@ type t =
   | Ctrl_unreachable
   | Quota_exceeded
   | Timeout
+  | Overloaded
 
 let to_string = function
   | Invalid_cap -> "invalid capability"
@@ -21,6 +22,7 @@ let to_string = function
   | Ctrl_unreachable -> "controller unreachable"
   | Quota_exceeded -> "capability-space quota exceeded"
   | Timeout -> "deadline expired"
+  | Overloaded -> "controller overloaded (request shed at admission)"
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 let equal a b = a = b

@@ -18,6 +18,10 @@ type t =
   | Timeout
       (** A caller-imposed deadline expired (application-level cancellation
           — FractOS itself never times out, §3.6). *)
+  | Overloaded
+      (** The Controller's bounded request queue was full and the syscall
+          was shed at admission (backpressure; see
+          [Net.Config.ctrl_queue_bound]). Transient — retry with backoff. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -1,8 +1,8 @@
 open State
 
-(* Object-table size (the revocation trees live here) as a per-node gauge. *)
-let g_objects ctrl =
-  Obs.Metrics.gauge ~node:ctrl.cnode.Net.Node.name "ctrl.revtree"
+(* Object-table size (the revocation trees live here) as a per-node gauge,
+   interned once at Controller.create. *)
+let g_objects ctrl = ctrl.cm.cm_revtree
 
 let fresh_oid ctrl =
   let oid = ctrl.next_oid in

@@ -27,6 +27,25 @@ type proc = {
   inbox : delivery Sim.Channel.t; (* request_receive queue *)
   monitor_box : monitor_event Sim.Channel.t;
   mutable alive : bool;
+  pm : proc_metrics;
+}
+
+(* Client-side syscall-latency histograms ("syscall.<name>" keyed by the
+   process's node), interned once at Process.create so the hot path of
+   every timed syscall touches a record field, not the metrics registry's
+   hashtable. Handles stay valid across Obs.Metrics.reset. *)
+and proc_metrics = {
+  pm_null : Obs.Metrics.histogram;
+  pm_mem_create : Obs.Metrics.histogram;
+  pm_mem_diminish : Obs.Metrics.histogram;
+  pm_mem_copy : Obs.Metrics.histogram;
+  pm_req_create : Obs.Metrics.histogram;
+  pm_req_derive : Obs.Metrics.histogram;
+  pm_req_invoke : Obs.Metrics.histogram;
+  pm_revtree : Obs.Metrics.histogram;
+  pm_revoke : Obs.Metrics.histogram;
+  pm_mon_delegate : Obs.Metrics.histogram;
+  pm_mon_receive : Obs.Metrics.histogram;
 }
 
 and ctrl = {
@@ -50,12 +69,38 @@ and ctrl = {
   copy_pending : (int, copy_chunk Queue.t) Hashtbl.t;
       (* chunks that overtook their session's open (handlers run
          concurrently; delivery order alone does not serialize them) *)
+  mutable cap_gen : int;
+      (* capability generation: bumped by every entry removal (revoke,
+         cleanup, process death) and by reboot; stamps the per-capspace
+         translation memos, invalidating them wholesale *)
+  cm : ctrl_metrics;
+}
+
+(* Controller-side hot-path instruments ("ctrl.*" keyed by the
+   controller's node), interned once at Controller.create — the message
+   loops touch record fields, never the registry's hashtable. *)
+and ctrl_metrics = {
+  cm_captable : Obs.Metrics.gauge;
+  cm_revtree : Obs.Metrics.gauge;
+  cm_syscalls : Obs.Metrics.counter;
+  cm_sys_backlog : Obs.Metrics.gauge;
+  cm_peer_msgs : Obs.Metrics.counter;
+  cm_peer_backlog : Obs.Metrics.gauge;
+  cm_delivered : Obs.Metrics.counter;
+  cm_overloads : Obs.Metrics.counter;
+  cm_tcache_hits : Obs.Metrics.counter;
+  cm_tcache_misses : Obs.Metrics.counter;
+  cm_ref_inc_timeouts : Obs.Metrics.counter;
 }
 
 and capspace = {
   cs_proc : proc;
   mutable cs_next : int;
   cs_caps : (int, entry) Hashtbl.t; (* cid -> entry *)
+  cs_memo : (int, entry) Hashtbl.t;
+      (* translation fast path (Config.translation_cache): memoized
+         cid -> entry, valid only while cs_memo_gen = ctrl.cap_gen *)
+  mutable cs_memo_gen : int;
 }
 
 (* One capability: an index in a Process's space resolving to an object

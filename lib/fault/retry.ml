@@ -25,7 +25,7 @@ let backoff policy ~attempt =
 
 let default_retryable = function
   | Core.Error.Timeout | Core.Error.Ctrl_unreachable | Core.Error.Stale
-  | Core.Error.Provider_dead ->
+  | Core.Error.Provider_dead | Core.Error.Overloaded ->
       true
   | _ -> false
 

@@ -22,8 +22,9 @@ val backoff : policy -> attempt:int -> Sim.Time.t
     [attempt] (1-based): [base * 2^(attempt-1)] capped at [p_backoff_cap]. *)
 
 val default_retryable : Core.Error.t -> bool
-(** [Timeout], [Ctrl_unreachable], [Stale] and [Provider_dead] are
-    retryable; everything else is permanent. *)
+(** [Timeout], [Ctrl_unreachable], [Stale], [Provider_dead] and
+    [Overloaded] (backpressure shed — the queue will drain) are retryable;
+    everything else is permanent. *)
 
 val with_timeout :
   timeout:Sim.Time.t ->

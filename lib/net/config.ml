@@ -35,6 +35,11 @@ type t = {
   congestion_window : int;
   capspace_quota : int;
   track_delegations : bool;
+  ctrl_batch : int;
+  c_doorbell : Sim.Time.t;
+  ctrl_queue_bound : int;
+  translation_cache : bool;
+  peer_ack_timeout : Sim.Time.t;
 }
 
 let default =
@@ -75,6 +80,11 @@ let default =
     congestion_window = 64;
     capspace_quota = 4096;
     track_delegations = false;
+    ctrl_batch = 1;
+    c_doorbell = 0;
+    ctrl_queue_bound = 0;
+    translation_cache = false;
+    peer_ack_timeout = Sim.Time.ms 2;
   }
 
 let bytes_time ~bw_bps n =

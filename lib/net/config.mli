@@ -128,6 +128,40 @@ type t = {
           (§3.5) because it puts messages on the critical path. Revocation
           cleanup then needs no broadcast. Default false (the paper's
           owner-centric design). *)
+  (* -------- controller fast path (batching / caching / backpressure) -- *)
+  ctrl_batch : int;
+      (** Doorbell coalescing: maximum messages a controller service loop
+          drains per scheduler wakeup. One wakeup pays [c_doorbell] once
+          and services up to this many already-queued messages. Default 1
+          (no coalescing — every message is its own wakeup). *)
+  c_doorbell : Sim.Time.t;
+      (** Per-wakeup queue-poll/doorbell cost on a controller core, scaled
+          like the [Msg] class on SmartNICs. The Table 3 calibration folds
+          this into [c_msg], so the default is 0; experiments that study
+          coalescing split part of [c_msg] out into this knob (keeping
+          [c_msg + c_doorbell] constant) so batching can amortize it. *)
+  ctrl_queue_bound : int;
+      (** Admission bound on a controller's syscall queue. Above the bound
+          new requests are rejected at arrival with [Error.Overloaded]
+          (receiver-not-ready, as an RC QP would RNR-NAK) instead of
+          queueing without limit — the queue bends at saturation rather
+          than collapsing. 0 (default) = unbounded, the seed behavior.
+          Flow-control credits are never shed. *)
+  translation_cache : bool;
+      (** Per-capspace memoization of cid -> capability-entry translation,
+          invalidated wholesale by a generation bump on any revocation,
+          cleanup, process death or controller reboot. A hit skips the
+          charged capability-space lookup ([c_lookup], the class with the
+          largest SmartNIC multiplier); object-table epoch/validity checks
+          still run on every use, so a cached translation can never
+          outlive the object or epoch it names. Default false. *)
+  peer_ack_timeout : Sim.Time.t;
+      (** Upper bound on waiting for a peer acknowledgment that is on a
+          syscall's critical path only under the [track_delegations]
+          ablation (the [P_ref_inc] ack). If the owner's ack does not
+          arrive in time (crash mid-delegation, partition, message loss)
+          the insertion proceeds best-effort instead of blocking forever.
+          0 = wait without bound. *)
 }
 
 val default : t

@@ -5,6 +5,9 @@ type 'a t = {
   mutable next_seq : int;
   seen : (int, unit) Hashtbl.t;
   order : int Queue.t;
+  dup_discards : Obs.Metrics.counter;
+  capacity : int; (* 0 = unbounded *)
+  mutable overflow : ('a -> bool) option;
 }
 
 (* Sliding dedup window, modeling an RDMA RC endpoint's PSN check: each
@@ -13,7 +16,7 @@ type 'a t = {
    discarded at the receiver. *)
 let window = 1024
 
-let create ~node name =
+let create ~node ?(capacity = 0) name =
   {
     name;
     node;
@@ -21,21 +24,34 @@ let create ~node name =
     next_seq = 0;
     seen = Hashtbl.create 64;
     order = Queue.create ();
+    dup_discards =
+      Obs.Metrics.counter ~node:node.Node.name "net.dup_discards";
+    capacity;
+    overflow = None;
   }
+
+let set_overflow ep f = ep.overflow <- Some f
 
 let post fab ~src ep ?cls ~size msg =
   let seq = ep.next_seq in
   ep.next_seq <- seq + 1;
   Fabric.send fab ~src ~dst:ep.node ?cls ~size (fun () ->
-      if Hashtbl.mem ep.seen seq then
-        Obs.Metrics.incr
-          (Obs.Metrics.counter ~node:ep.node.Node.name "net.dup_discards")
+      if Hashtbl.mem ep.seen seq then Obs.Metrics.incr ep.dup_discards
       else begin
         Hashtbl.replace ep.seen seq ();
         Queue.add seq ep.order;
         if Queue.length ep.order > window then
           Hashtbl.remove ep.seen (Queue.pop ep.order);
-        Sim.Channel.send ep.chan msg
+        (* Admission control at the receive queue: above [capacity] the
+           overflow callback may consume the message (receiver-not-ready
+           shed); returning false admits it anyway — the callback decides
+           what must never be shed (e.g. flow-control credits). *)
+        if
+          ep.capacity > 0
+          && Sim.Channel.length ep.chan >= ep.capacity
+          && (match ep.overflow with Some f -> f msg | None -> false)
+        then ()
+        else Sim.Channel.send ep.chan msg
       end)
 
 let recv ep = Sim.Channel.recv ep.chan

@@ -7,7 +7,20 @@
 
 type 'a t
 
-val create : node:Node.t -> string -> 'a t
+val create : node:Node.t -> ?capacity:int -> string -> 'a t
+(** [create ~node name] makes an endpoint on [node]. [capacity] bounds the
+    receive queue: once more than [capacity] messages are waiting, newly
+    arriving messages are offered to the {!set_overflow} callback instead
+    of being queued (0, the default, means unbounded). The bound only
+    takes effect when an overflow callback is registered. *)
+
+val set_overflow : 'a t -> ('a -> bool) -> unit
+(** [set_overflow ep f] registers the admission-control callback consulted
+    when the queue is at capacity. [f msg] returning [true] means the
+    callback consumed (shed) the message — typically by failing its reply
+    path with [Overloaded]; returning [false] admits the message to the
+    queue regardless of the bound (for messages that must never be lost,
+    such as congestion-window credits). *)
 
 val post :
   Fabric.t -> src:Node.t -> 'a t -> ?cls:Stats.cls -> size:int -> 'a -> unit

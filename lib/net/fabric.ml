@@ -54,19 +54,29 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
     match t.fault_hook with None -> Pass | Some h -> h ~src ~dst ~cls ~size
   in
   let on_network = not (Node.same_machine src dst) in
+  (* Lossy faults model the switch; the intra-machine path (loopback QP /
+     PCIe DMA) is a reliable transport, so Drop and Duplicate are
+     downgraded to Pass for local sends — a "dropped" local syscall would
+     otherwise vanish inside a machine with no packet loss to blame, and
+     its fabric.xfer span and fault counters would claim a switch drop
+     that never happened. The hook has already drawn its randomness, so
+     fault streams stay aligned whatever the topology. Delay still
+     applies (DMA-engine stalls are real). *)
+  let fault =
+    match fault with
+    | (Drop | Duplicate) when not on_network ->
+      Obs.Metrics.incr src.Node.ins.Node.i_fault_local_ignored;
+      Pass
+    | f -> f
+  in
   Stats.record t.stats ~src ~dst ~cls ~bytes:size ~on_network;
-  Obs.Metrics.incr (Obs.Metrics.counter ~node:src.Node.name "net.tx_msgs");
-  Obs.Metrics.incr ~by:size
-    (Obs.Metrics.counter ~node:src.Node.name "net.tx_bytes");
+  Obs.Metrics.incr src.Node.ins.Node.i_tx_msgs;
+  Obs.Metrics.incr ~by:size src.Node.ins.Node.i_tx_bytes;
   (match fault with
   | Pass -> ()
-  | Drop ->
-    Obs.Metrics.incr (Obs.Metrics.counter ~node:src.Node.name "net.fault_drops")
-  | Duplicate ->
-    Obs.Metrics.incr (Obs.Metrics.counter ~node:src.Node.name "net.fault_dups")
-  | Delay _ ->
-    Obs.Metrics.incr
-      (Obs.Metrics.counter ~node:src.Node.name "net.fault_delays"));
+  | Drop -> Obs.Metrics.incr src.Node.ins.Node.i_fault_drops
+  | Duplicate -> Obs.Metrics.incr src.Node.ins.Node.i_fault_dups
+  | Delay _ -> Obs.Metrics.incr src.Node.ins.Node.i_fault_delays);
   let trace_event kind =
     {
       Trace.ev_time = Sim.Engine.now ();
@@ -148,23 +158,13 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
       | _ -> ())
   end
   else begin
-    (* intra-machine: loopback QP / PCIe DMA, off the switch *)
+    (* intra-machine: loopback QP / PCIe DMA, off the switch. Drop and
+       Duplicate were downgraded above, so every local message is
+       delivered — and its span finished — exactly once. *)
     let ser = Config.bytes_time ~bw_bps:cfg.pcie_bandwidth_bps wire_bytes in
     let dma_start, dma_done = Sim.Resource.reserve src.Node.dma ~duration:ser in
-    match fault with
-    | Drop ->
-      if sp <> 0 then begin
-        Obs.Span.set_attr sp "fault" "drop";
-        Sim.Engine.schedule (dma_done - now) (fun () -> Obs.Span.finish sp)
-      end
-    | Pass | Duplicate | Delay _ ->
-      if sp <> 0 then
-        Obs.Span.set_attr sp "q" (string_of_int (dma_start - now));
-      Sim.Engine.schedule (dma_done + base + extra - now) deliver;
-      (match fault with
-      | Duplicate ->
-        Sim.Engine.schedule (dma_done + base + extra + base - now) dup_deliver
-      | _ -> ())
+    if sp <> 0 then Obs.Span.set_attr sp "q" (string_of_int (dma_start - now));
+    Sim.Engine.schedule (dma_done + base + extra - now) deliver
   end
 
 let transfer t ~src ~dst ?cls ~size () =

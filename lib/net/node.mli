@@ -10,6 +10,18 @@ type kind =
   | Smart_nic  (** BlueField-class SmartNIC ARM cores. *)
   | Wimpy_cpu  (** Small CPU co-located with a disaggregated device. *)
 
+type instruments = private {
+  i_tx_msgs : Obs.Metrics.counter;
+  i_tx_bytes : Obs.Metrics.counter;
+  i_fault_drops : Obs.Metrics.counter;
+  i_fault_dups : Obs.Metrics.counter;
+  i_fault_delays : Obs.Metrics.counter;
+  i_fault_local_ignored : Obs.Metrics.counter;
+}
+(** The node's fabric metrics ([net.tx_msgs], [net.tx_bytes],
+    [net.fault_*]), interned once at node creation so {!Fabric.send} does
+    no registry lookups on the hot path. *)
+
 type t = private {
   id : int;
   name : string;
@@ -20,6 +32,7 @@ type t = private {
   dma : Sim.Resource.t;
       (** Intra-machine DMA engine (loopback QPs, PCIe): local transfers
           serialize here instead of occupying the NIC wire resources. *)
+  ins : instruments;
 }
 
 val kind_to_string : kind -> string

@@ -15,6 +15,9 @@ let percentile sorted p =
   let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
   sorted.(max 0 (min (n - 1) idx))
 
+let zero_summary elapsed =
+  { n = 0; mean = 0; p50 = 0; p95 = 0; p99 = 0; max = 0; elapsed }
+
 let summarize latencies elapsed =
   if latencies = [] then invalid_arg "Loadgen.summarize: no samples";
   let sorted = Array.of_list (List.sort compare latencies) in
@@ -30,7 +33,7 @@ let summarize latencies elapsed =
     elapsed;
   }
 
-let run_open_loop ~rng ~rate_per_s ~n request =
+let run_open_loop' ~rng ~rate_per_s ~n request =
   let mean_gap_ns = 1e9 /. rate_per_s in
   let latencies = ref [] in
   let completed = ref 0 in
@@ -54,6 +57,14 @@ let run_open_loop ~rng ~rate_per_s ~n request =
   arrivals 0;
   Sim.Ivar.await done_;
   summarize !latencies (Sim.Engine.now () - t0)
+
+let run_open_loop ~rng ~rate_per_s ~n request =
+  if n < 0 then invalid_arg "Loadgen.run_open_loop: n < 0";
+  (* n = 0 spawns no requests, so the completion ivar would never fill:
+     short-circuit with an explicit zero-sample summary instead of
+     deadlocking the calling fiber *)
+  if n = 0 then zero_summary 0
+  else run_open_loop' ~rng ~rate_per_s ~n request
 
 let pp_summary fmt s =
   Format.fprintf fmt

@@ -31,6 +31,10 @@ val run_open_loop :
 (** [run_open_loop ~rng ~rate_per_s ~n request] fires [n] requests with
     exponential inter-arrival times at mean rate [rate_per_s]; each runs
     [request i] in its own fiber and its completion latency is recorded.
-    Blocks until all complete. Must run inside the engine. *)
+    Blocks until all complete. Must run inside the engine.
+
+    [n = 0] returns an all-zero summary immediately (it used to deadlock:
+    with no requests the internal completion ivar never filled). Raises
+    [Invalid_argument] if [n < 0]. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -817,6 +817,84 @@ let test_congestion_window () =
       check_int "inbox drained" 0 (Sim.Channel.length pb.State.inbox))
 
 (* ------------------------------------------------------------------ *)
+(* Admission control and doorbell batching                             *)
+(* ------------------------------------------------------------------ *)
+
+(* With a doorbell cost split out of c_msg the service loop itself pays
+   for each wakeup, so a burst outruns the controller and the syscall
+   queue fills; beyond ctrl_queue_bound the controller sheds new work
+   with the typed, retryable Overloaded error instead of queueing
+   without bound. *)
+let test_overload_shed_and_recovery () =
+  let config =
+    {
+      Fractos_net.Config.default with
+      c_doorbell = Time.us 5;
+      ctrl_queue_bound = 4;
+    }
+  in
+  Tb.run ~config (fun tb ->
+      let a = Tb.add_host tb "alpha" in
+      let ca = Tb.add_ctrl tb ~on:a in
+      let p = Tb.add_proc tb ~on:a ~ctrl:ca "p" in
+      let shed0 =
+        Fractos_obs.Metrics.counter_value ca.State.cm.State.cm_overloads
+      in
+      let ok = ref 0 and shed = ref 0 and done_ = ref 0 in
+      let n = 64 in
+      for _ = 1 to n do
+        Engine.spawn (fun () ->
+            (match Api.null p with
+            | Ok () -> incr ok
+            | Error Error.Overloaded -> incr shed
+            | Error e -> Alcotest.failf "unexpected: %s" (Error.to_string e));
+            incr done_)
+      done;
+      Engine.sleep (Time.ms 5);
+      check_int "every syscall completed or shed" n !done_;
+      check_bool (Printf.sprintf "some succeeded (%d)" !ok) true (!ok > 0);
+      check_bool (Printf.sprintf "some shed (%d)" !shed) true (!shed > 0);
+      check_int "sheds counted" !shed
+        (Fractos_obs.Metrics.counter_value ca.State.cm.State.cm_overloads
+        - shed0);
+      (* once the burst has drained the controller accepts work again *)
+      Alcotest.check (result_t Alcotest.unit) "recovers" (Ok ()) (Api.null p))
+
+(* Same doorbell cost, bigger batch: one wakeup's doorbell covers up to
+   ctrl_batch queued messages, so a fixed burst finishes sooner. *)
+let test_batching_coalesces_doorbell () =
+  let makespan batch =
+    let config =
+      {
+        Fractos_net.Config.default with
+        c_doorbell = Time.us 2;
+        ctrl_batch = batch;
+      }
+    in
+    Tb.run ~config (fun tb ->
+        let a = Tb.add_host tb "alpha" in
+        let ca = Tb.add_ctrl tb ~on:a in
+        let p = Tb.add_proc tb ~on:a ~ctrl:ca "p" in
+        ignore ca;
+        let n = 32 in
+        let done_ = ref 0 in
+        let iv = Ivar.create () in
+        for _ = 1 to n do
+          Engine.spawn (fun () ->
+              ok_exn (Api.null p);
+              incr done_;
+              if !done_ = n then Ivar.fill iv ())
+        done;
+        Ivar.await iv;
+        Engine.now ())
+  in
+  let serial = makespan 1 in
+  let batched = makespan 16 in
+  check_bool
+    (Printf.sprintf "batched burst faster (%d < %d)" batched serial)
+    true (batched < serial)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -984,4 +1062,11 @@ let () =
         ] );
       ( "congestion",
         [ Alcotest.test_case "window backpressure" `Quick test_congestion_window ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload shed + recovery" `Quick
+            test_overload_shed_and_recovery;
+          Alcotest.test_case "doorbell batching coalesces" `Quick
+            test_batching_coalesces_doorbell;
+        ] );
     ]

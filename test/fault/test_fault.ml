@@ -288,6 +288,17 @@ let test_retry_timeout_converts_hang () =
       in
       check_bool "raise became Error" true (r = Error Core.Error.Bounds))
 
+let test_retry_absorbs_overloaded () =
+  Engine.run (fun () ->
+      let n = ref 0 in
+      let r =
+        Retry.run (fun () ->
+            incr n;
+            if !n <= 2 then Error Core.Error.Overloaded else Ok ())
+      in
+      check_bool "ok after backoff" true (r = Ok ());
+      check_int "two sheds then success" 3 !n)
+
 (* ------------------------------------------------------------------ *)
 (* Fabric duplication end-to-end: no duplicate side effects            *)
 (* ------------------------------------------------------------------ *)
@@ -316,6 +327,62 @@ let test_duplicated_invoke_single_side_effect () =
       done;
       Net.Fabric.set_fault_hook tb.Tb.fabric None;
       check_int "handler ran once per logical invoke" 5 !effects)
+
+(* ------------------------------------------------------------------ *)
+(* Local (loopback) sends ignore Drop/Duplicate                        *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Fractos_obs
+
+(* Injected faults model a lossy switch; a Process talking to its
+   co-located controller never crosses one. Drop/Duplicate on the local
+   path used to hang callers (the seed honored them), now they are
+   downgraded to Pass and counted in net.fault_local_ignored — and every
+   fabric.xfer span still finishes exactly once. *)
+let test_local_faults_ignored () =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Span.set_enabled false) @@ fun () ->
+  Tb.run (fun tb ->
+      let a = Tb.add_host tb "a" in
+      let ca = Tb.add_ctrl tb ~on:a in
+      let p = Tb.add_proc tb ~on:a ~ctrl:ca "p" in
+      let cv name =
+        Obs.Metrics.counter_value (Obs.Metrics.counter ~node:"a" name)
+      in
+      let drops0 = cv "net.fault_drops" in
+      let dups0 = cv "net.fault_dups" in
+      let ign0 = cv "net.fault_local_ignored" in
+      Net.Fabric.set_fault_hook tb.Tb.fabric
+        (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Net.Fabric.Drop));
+      (* a dropped local message would hang this syscall forever *)
+      let iv = Ivar.create () in
+      Engine.spawn (fun () -> Ivar.fill iv (Core.Api.null p));
+      (match Ivar.await_timeout iv ~timeout:(Time.ms 5) with
+      | Some (Ok ()) -> ()
+      | Some (Error e) ->
+        Alcotest.failf "null failed: %s" (Core.Error.to_string e)
+      | None -> Alcotest.fail "local Drop was honored: syscall hung");
+      (* a duplicated local message must deliver exactly once; null's
+         reply ivar would trip Ivar.fill twice otherwise *)
+      Net.Fabric.set_fault_hook tb.Tb.fabric
+        (Some (fun ~src:_ ~dst:_ ~cls:_ ~size:_ -> Net.Fabric.Duplicate));
+      ok_exn (Core.Api.null p);
+      Net.Fabric.set_fault_hook tb.Tb.fabric None;
+      check_int "no local drops counted" 0 (cv "net.fault_drops" - drops0);
+      check_int "no local dups counted" 0 (cv "net.fault_dups" - dups0);
+      check_bool "ignored local faults counted" true
+        (cv "net.fault_local_ignored" - ign0 > 0));
+  let xfers =
+    List.filter
+      (fun s -> s.Obs.Span.sp_name = "fabric.xfer")
+      (Obs.Span.all ())
+  in
+  check_bool "xfer spans recorded" true (xfers <> []);
+  List.iter
+    (fun s ->
+      check_bool "fabric.xfer span finished" true s.Obs.Span.sp_finished)
+    xfers
 
 (* ------------------------------------------------------------------ *)
 (* Chaos harness                                                      *)
@@ -427,8 +494,12 @@ let () =
             test_retry_permanent_error_stops;
           Alcotest.test_case "timeout converts hang" `Quick
             test_retry_timeout_converts_hang;
+          Alcotest.test_case "overloaded is retryable" `Quick
+            test_retry_absorbs_overloaded;
           Alcotest.test_case "duplicated invoke, one side effect" `Quick
             test_duplicated_invoke_single_side_effect;
+          Alcotest.test_case "local sends ignore drop/duplicate" `Quick
+            test_local_faults_ignored;
         ] );
       ( "chaos",
         [

@@ -16,6 +16,52 @@ let ok_exn = Core.Error.ok_exn
 (* Metrics                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Property: for any sample, every percentile estimate is within one
+   bucket's relative resolution (a factor of 2^(1/4) at 4 buckets per
+   octave) of the exact percentile computed from the sorted sample. The
+   exact rank mirrors the implementation's convention
+   (rank = max 1 (round (p * n)), 1-indexed). Edge cases covered by the
+   generator: v = 0 and v = 1 both collapse to bucket 0, whose
+   representative value is 1.0 (clamped by the observed max). *)
+let prop_histogram_percentiles =
+  let sample_gen =
+    QCheck.Gen.(
+      list_size (int_range 1 200)
+        (frequency
+           [
+             (2, int_bound 3); (* exercises the 0/1 bucket-0 edge *)
+             (3, int_bound 1000);
+             (3, map (fun v -> 1 + v) (int_bound 1_000_000_000));
+           ]))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun vs -> String.concat "," (List.map string_of_int vs))
+      sample_gen
+  in
+  QCheck.Test.make ~name:"percentiles within one bucket of exact" ~count:200
+    arb (fun values ->
+      Obs.Metrics.reset ();
+      let h = Obs.Metrics.histogram ~node:"prop" "lat" in
+      List.iter (Obs.Metrics.observe h) values;
+      let sorted = Array.of_list (List.sort compare values) in
+      let n = Array.length sorted in
+      let width = Float.exp2 0.25 (* one bucket, 4 per octave *) in
+      let eps = 1e-9 in
+      List.for_all
+        (fun p ->
+          let rank =
+            int_of_float
+              (Float.max 1. (Float.round (p *. float_of_int n)))
+          in
+          let exact = float_of_int sorted.(rank - 1) in
+          let est = Obs.Metrics.percentile h p in
+          (* bucket 0 represents both 0 and 1 as 1.0 (clamped by the
+             observed max), hence the max 1.0 on the upper bound *)
+          est >= (exact /. width) -. eps
+          && est <= Float.max 1.0 (exact *. width) +. eps)
+        [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ])
+
 let test_counters_gauges () =
   Obs.Metrics.reset ();
   let c = Obs.Metrics.counter ~node:"n" "c" in
@@ -401,6 +447,7 @@ let () =
           Alcotest.test_case "point mass" `Quick test_histogram_point_mass;
           Alcotest.test_case "empty and small" `Quick
             test_histogram_empty_and_small;
+          QCheck_alcotest.to_alcotest prop_histogram_percentiles;
         ] );
       ( "spans",
         [

@@ -99,6 +99,33 @@ let test_open_loop_queueing_shows_in_tail () =
       check_bool "p99 well above service time" true
         (s.Loadgen.p99 > 2 * Time.ms 1))
 
+let test_open_loop_zero_requests () =
+  Engine.run (fun () ->
+      let rng = Prng.create ~seed:3 in
+      (* n = 0 used to deadlock: the completion ivar was never filled and
+         the caller blocked forever; now it returns a zero summary *)
+      let iv = Ivar.create () in
+      Engine.spawn (fun () ->
+          Ivar.fill iv
+            (Loadgen.run_open_loop ~rng ~rate_per_s:1000. ~n:0 (fun _ ->
+                 Alcotest.fail "request fired for n = 0")));
+      match Ivar.await_timeout iv ~timeout:(Time.ms 10) with
+      | None -> Alcotest.fail "run_open_loop deadlocked on n = 0"
+      | Some s ->
+        check_int "zero samples" 0 s.Loadgen.n;
+        check_int "zero mean" 0 s.Loadgen.mean;
+        check_int "zero p99" 0 s.Loadgen.p99;
+        check_int "zero elapsed" 0 s.Loadgen.elapsed)
+
+let test_open_loop_negative_rejected () =
+  Engine.run (fun () ->
+      let rng = Prng.create ~seed:4 in
+      match
+        Loadgen.run_open_loop ~rng ~rate_per_s:1000. ~n:(-1) (fun _ -> ())
+      with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "n = -1 accepted")
+
 let () =
   Alcotest.run "fractos_workloads"
     [
@@ -118,5 +145,9 @@ let () =
             test_open_loop_counts_and_rate;
           Alcotest.test_case "queueing tail" `Quick
             test_open_loop_queueing_shows_in_tail;
+          Alcotest.test_case "zero requests" `Quick
+            test_open_loop_zero_requests;
+          Alcotest.test_case "negative rejected" `Quick
+            test_open_loop_negative_rejected;
         ] );
     ]
