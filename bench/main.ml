@@ -28,6 +28,7 @@ let experiments : (string * (unit -> unit)) list =
     (Exp_fig13.name, Exp_fig13.run);
     (Exp_ablation.name, Exp_ablation.run);
     (Exp_loadcurve.name, Exp_loadcurve.run);
+    (Exp_copybw.name, Exp_copybw.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -131,14 +132,18 @@ let () =
     | [] -> List.rev acc
   in
   let args = extract_breakdown [] args in
-  (* --loadcurve-json PATH / --tiny: saturation-sweep output and size
-     (consumed by the @bench-smoke alias) *)
+  (* --loadcurve-json PATH / --copybw-json PATH / --tiny: JSON-sweep output
+     paths and size (consumed by the @bench-smoke alias) *)
   let rec extract_loadcurve acc = function
     | "--loadcurve-json" :: path :: rest ->
       Exp_loadcurve.json_path := path;
       extract_loadcurve acc rest
+    | "--copybw-json" :: path :: rest ->
+      Exp_copybw.json_path := path;
+      extract_loadcurve acc rest
     | "--tiny" :: rest ->
       Exp_loadcurve.tiny := true;
+      Exp_copybw.tiny := true;
       extract_loadcurve acc rest
     | a :: rest -> extract_loadcurve (a :: acc) rest
     | [] -> List.rev acc

@@ -1,9 +1,12 @@
 #!/bin/sh
-# Tiny load-curve smoke (the @bench-smoke dune alias): run the
-# controller-saturation sweep in --tiny mode and validate the emitted
-# BENCH_loadcurve.json — it must parse, carry both ablation variants
-# (fastpath-off, fastpath-on), list offered-load points in strictly
-# increasing order, and account every request as ok or error.
+# Tiny bench smokes (the @bench-smoke dune alias):
+# - run the controller-saturation sweep in --tiny mode and validate the
+#   emitted BENCH_loadcurve.json — it must parse, carry both ablation
+#   variants (fastpath-off, fastpath-on), list offered-load points in
+#   strictly increasing order, and account every request as ok or error;
+# - run the copy-bandwidth sweep in --tiny mode and validate the emitted
+#   BENCH_copybw.json — it must parse, carry a serial and a pipelined
+#   point, and its 1 MiB / 100 Gbps headline speedup must stay >= 2x.
 #   bin/bench_smoke.sh <bench-main.exe>
 set -eu
 
@@ -42,6 +45,36 @@ else
   grep -q '"fastpath-off"' "$json"
   grep -q '"fastpath-on"' "$json"
   grep -q '"offered_rps"' "$json"
+fi
+
+copybw="$tmp/BENCH_copybw.json"
+
+echo "== bench-smoke: copybw --tiny"
+"$bench" copybw --tiny --no-bechamel --copybw-json "$copybw" >/dev/null
+
+test -s "$copybw"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$copybw" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "copybw"
+pts = d["points"]
+assert pts, "no sweep points"
+for p in pts:
+    assert p["ns"] > 0 and p["gbps"] > 0, p
+engines = {(p["window"], p["streams"]) for p in pts}
+assert (1, 1) in engines, "serial baseline point missing"
+assert any(e != (1, 1) for e in engines), "pipelined point missing"
+h = d["headline"]
+assert h["serial_gbps"] > 0 and h["pipelined_gbps"] > 0, h
+assert h["speedup"] >= 2.0, "headline speedup regressed below 2x: %r" % h
+EOF
+else
+  # Crude fallback: headline present with both engine figures.
+  grep -q '"serial_gbps"' "$copybw"
+  grep -q '"pipelined_gbps"' "$copybw"
+  grep -q '"speedup"' "$copybw"
 fi
 
 echo "== bench-smoke OK"

@@ -393,7 +393,7 @@ let chaos_cmd seed faults workload clients requests =
     | Some w -> w
     | None ->
       Format.eprintf
-        "fractos chaos: unknown workload %S (faceverify, fs or mixed)@."
+        "fractos chaos: unknown workload %S (faceverify, fs, mixed or copy)@."
         workload;
       exit 2
   in
@@ -430,6 +430,9 @@ let config_cmd () =
     (Time.to_string c.gpu_per_image);
   printf "copy path: chunk %d KiB, double buffering %b, hw copies %b@."
     (c.bounce_chunk / 1024) c.double_buffering c.hw_copies;
+  printf "  window %d chunk(s), %d stream(s), open timeout %s@." c.copy_window
+    c.copy_streams
+    (Time.to_string c.copy_open_timeout);
   printf "congestion window: %d outstanding responses@." c.congestion_window
 
 (* ---------------- topology ------------------------------------------ *)
@@ -510,7 +513,7 @@ let chaos_t =
     Arg.(
       value & opt string "mixed"
       & info [ "workload" ] ~docv:"W"
-          ~doc:"Workload mix: faceverify, fs or mixed.")
+          ~doc:"Workload mix: faceverify, fs, mixed or copy.")
   in
   let clients =
     Arg.(

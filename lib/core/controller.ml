@@ -77,6 +77,10 @@ let peer_of_addr ctrl addr =
   if addr.a_ctrl = ctrl.ctrl_id then Some ctrl
   else List.find_opt (fun c -> c.ctrl_id = addr.a_ctrl) ctrl.peers
 
+let peer_of_id ctrl id =
+  if id = ctrl.ctrl_id then Some ctrl
+  else List.find_opt (fun c -> c.ctrl_id = id) ctrl.peers
+
 (* Run a peer operation at the owner of [addr]: locally when we are the
    owner, otherwise by sending [make_msg] and awaiting the remote reply.
    [serialize] charges the wire-marshaling cost class on the sending side. *)
@@ -571,6 +575,11 @@ let rec do_invoke ctrl addr suffix_imms suffix_caps rr =
 (* ------------------------------------------------------------------ *)
 
 let chunk_sizes total chunk =
+  (* [Config.validate] rejects non-positive bounce_chunk at fabric
+     construction; this guard is defense in depth against a hand-built
+     config reaching the engine (the recursion below would never
+     terminate). *)
+  if chunk <= 0 then invalid_arg "memory_copy: non-positive bounce_chunk";
   let rec go off acc =
     if off >= total then List.rev acc
     else
@@ -579,17 +588,74 @@ let chunk_sizes total chunk =
   in
   if total = 0 then [ (0, 0) ] else go 0 []
 
+(* Knob defaults (window = streams = 1) select the serial engine below,
+   byte- and cost-identical to the pre-windowing code path; anything else
+   selects the pipelined engine. *)
+let pipelined (cfg : Net.Config.t) = cfg.copy_window > 1 || cfg.copy_streams > 1
+
+(* Grant [credits] flow-control credits for [copy_id] back to the source
+   controller (pipelined engine only; the serial source never waits). *)
+let grant_credit ctrl ~src_ctrl ~copy_id ~credits =
+  match peer_of_id ctrl src_ctrl with
+  | Some src ->
+    send_peer ctrl src ~size:Wire.credit (P_copy_credit { copy_id; credits })
+  | None -> ()
+
+(* Orphan reclamation. A dropped [P_copy_open] (fault injection) leaves its
+   session's chunks parked in [copy_pending] — and a dropped final chunk
+   leaves an open-time failure parked in [copy_failures] — forever. Sweep
+   the entry after [copy_open_timeout]: a reclaimed final chunk replies
+   [Timeout] so the caller's retry path gets a typed completion, and parked
+   pipelined chunks refund their flow-control credits so the source's
+   stream fibers unblock. In fault-free runs the open (or final chunk)
+   always lands first and the sweep is a no-op. *)
+let schedule_pending_sweep ctrl copy_id q =
+  let timeout = (config ctrl).Net.Config.copy_open_timeout in
+  if timeout > 0 then
+    Sim.Engine.schedule timeout (fun () ->
+        match Hashtbl.find_opt ctrl.copy_pending copy_id with
+        | Some q' when q' == q ->
+          Hashtbl.remove ctrl.copy_pending copy_id;
+          Obs.Metrics.incr ctrl.cm.cm_copy_orphans;
+          (* scheduled events run outside any fiber: the refunds and the
+             Timeout reply charge cpu time, so hop into a fresh fiber *)
+          Sim.Engine.spawn (fun () ->
+              Queue.iter
+                (fun (src_ctrl, ck) ->
+                  if pipelined (config ctrl) then
+                    grant_credit ctrl ~src_ctrl ~copy_id ~credits:1;
+                  match ck.ck_last with
+                  | Some rr -> rreply_to ctrl rr (Error Error.Timeout)
+                  | None -> ())
+                q')
+        | Some _ | None -> ())
+
+let schedule_failure_sweep ctrl copy_id =
+  let timeout = (config ctrl).Net.Config.copy_open_timeout in
+  if timeout > 0 then
+    Sim.Engine.schedule timeout (fun () ->
+        if Hashtbl.mem ctrl.copy_failures copy_id then begin
+          Hashtbl.remove ctrl.copy_failures copy_id;
+          Obs.Metrics.incr ctrl.cm.cm_copy_orphans
+        end)
+
 (* Destination side: one writer fiber per copy session, consuming in-order
    chunks, staging them through the bounce buffer and RDMA-writing into the
-   destination process's memory. *)
-let start_copy_session ctrl ~copy_id ~dst_mem =
+   destination process's memory. The writer counts delivered bytes: if the
+   final chunk lands with incomplete coverage (a middle chunk was dropped
+   by fault injection — the endpoint layer already absorbs duplicates), it
+   must answer with a typed error, not ack a silent hole. Fault-free
+   sessions always cover [total] exactly. *)
+let start_copy_session ctrl ~copy_id ~total ~dst_mem =
   let chan = Sim.Channel.create () in
   Hashtbl.replace ctrl.copy_sessions copy_id chan;
   Sim.Engine.spawn (fun () ->
       let cfg = config ctrl in
+      let received = ref 0 in
       let rec loop () =
         let ck = Sim.Channel.recv chan in
         let len = Bytes.length ck.ck_data in
+        received := !received + len;
         (span ctrl
            ~attrs:(fun () ->
              [ ("off", string_of_int ck.ck_off); ("len", string_of_int len) ])
@@ -608,14 +674,95 @@ let start_copy_session ctrl ~copy_id ~dst_mem =
         match ck.ck_last with
         | Some rr ->
           Hashtbl.remove ctrl.copy_sessions copy_id;
-          rreply_to ctrl rr (Ok ())
+          rreply_to ctrl rr
+            (if !received >= total then Ok () else Error Error.Timeout)
         | None -> loop ()
+      in
+      loop ())
+
+(* Pipelined destination writer (copy_window > 1 or copy_streams > 1).
+   Chunks may arrive out of order — multiple source streams, fault-injected
+   delays — so the writer keeps a reorder set of staged offsets and writes
+   each fresh chunk at its own offset as it lands (destination-side
+   coalescing); duplicates are absorbed. One flow-control credit goes back
+   to the source per drained bounce-buffer slot. Staging is charged to the
+   controller's copy engine, not its syscall cores, so a bulk copy does not
+   head-of-line-block unrelated traffic. Completion needs full byte
+   coverage, the final-chunk marker, and every RDMA write-out landed. *)
+let start_copy_session_pipelined ctrl ~copy_id ~src_ctrl ~total ~dst_mem =
+  let chan = Sim.Channel.create () in
+  Hashtbl.replace ctrl.copy_sessions copy_id chan;
+  Sim.Engine.spawn (fun () ->
+      let cfg = config ctrl in
+      let seen = Hashtbl.create 16 in
+      let received = ref 0 in
+      let outstanding = ref 0 in
+      let rr_slot = ref None in
+      let last_seen = ref false in
+      let replied = ref false in
+      let grant () = grant_credit ctrl ~src_ctrl ~copy_id ~credits:1 in
+      let maybe_finish () =
+        if
+          !last_seen && (not !replied) && !received >= total
+          && !outstanding = 0
+        then begin
+          replied := true;
+          Hashtbl.remove ctrl.copy_sessions copy_id;
+          match !rr_slot with
+          | Some rr -> rreply_to ctrl rr (Ok ())
+          | None -> ()
+        end
+      in
+      let write_out ck len =
+        span ctrl
+          ~attrs:(fun () ->
+            [ ("off", string_of_int ck.ck_off); ("len", string_of_int len) ])
+          "ctrl.copy.write"
+        @@ fun () ->
+        if len > 0 then begin
+          Sim.Resource.use ctrl.copy_engine
+            ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
+          Membuf.write dst_mem.m_buf ~off:(dst_mem.m_off + ck.ck_off)
+            ck.ck_data;
+          (* asynchronous RDMA write out of the bounce buffer; the slot's
+             credit is granted when the write-out completes *)
+          incr outstanding;
+          Net.Fabric.send ctrl.fabric ~src:ctrl.cnode
+            ~dst:dst_mem.m_buf.Membuf.node ~cls:Net.Stats.Data ~size:len
+            (once (fun () ->
+                 (* completion callbacks run outside any fiber; granting the
+                    credit sends a peer message, so hop into a fresh fiber *)
+                 Sim.Engine.spawn (fun () ->
+                     decr outstanding;
+                     grant ();
+                     maybe_finish ())))
+        end
+        else grant ()
+      in
+      let rec loop () =
+        let ck = Sim.Channel.recv chan in
+        let len = Bytes.length ck.ck_data in
+        if Hashtbl.mem seen ck.ck_off then
+          (* duplicate delivery: its slot was already drained *)
+          grant ()
+        else begin
+          Hashtbl.replace seen ck.ck_off ();
+          received := !received + len;
+          write_out ck len
+        end;
+        (match ck.ck_last with
+        | Some rr ->
+          last_seen := true;
+          (match !rr_slot with None -> rr_slot := Some rr | Some _ -> ())
+        | None -> ());
+        maybe_finish ();
+        if not (!last_seen && !received >= total) then loop ()
       in
       loop ())
 
 (* Validate and open a copy session on the first (optimistic) chunk. On
    failure the error is parked until the final chunk's reply path. *)
-let do_copy_open ctrl ~copy_id ~dst ~total =
+let do_copy_open ctrl ~copy_id ~src_ctrl ~dst ~total =
   charge ctrl [ (Net.Cost.Lookup, 2) ];
   let validated =
     match Objects.find ctrl dst with
@@ -635,10 +782,13 @@ let do_copy_open ctrl ~copy_id ~dst ~total =
   in
   match validated with
   | Ok m ->
-    start_copy_session ctrl ~copy_id ~dst_mem:m;
+    if pipelined (config ctrl) then
+      start_copy_session_pipelined ctrl ~copy_id ~src_ctrl ~total ~dst_mem:m
+    else start_copy_session ctrl ~copy_id ~total ~dst_mem:m;
     Ok ()
   | Error e ->
     Hashtbl.replace ctrl.copy_failures copy_id e;
+    schedule_failure_sweep ctrl copy_id;
     Error e
 
 (* Source side (we own the source object): validate, open the session at
@@ -647,9 +797,157 @@ let do_copy_open ctrl ~copy_id ~dst ~total =
    run chunks strictly in series (ablation). The final chunk carries the
    original caller's ack, so completion is signaled by the destination
    controller directly to the origin (paper's decentralized data path). *)
+(* Serial chunk loop: the pre-windowing engine, kept verbatim as the
+   default path (bit-for-bit with copy_window = copy_streams = 1). *)
+let do_copy_chunks_serial ctrl ~dst ~dst_ctrl ~(m : mem) ~copy_id
+    (rr : unit rreply) =
+  let cfg = config ctrl in
+  let chunks = chunk_sizes m.m_len cfg.bounce_chunk in
+  let n = List.length chunks in
+  List.iteri
+    (fun i (off, len) ->
+      span ctrl
+        ~attrs:(fun () ->
+          [ ("off", string_of_int off); ("len", string_of_int len) ])
+        "ctrl.copy.chunk"
+      @@ fun () ->
+      (* RDMA read from source process memory into the bounce
+         buffer *)
+      if len > 0 then
+        Net.Fabric.transfer ctrl.fabric ~src:m.m_buf.Membuf.node
+          ~dst:ctrl.cnode ~cls:Net.Stats.Data ~size:len ();
+      if len > 0 then
+        Sim.Resource.use ctrl.cpu
+          ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
+      let data =
+        if len = 0 then Bytes.empty
+        else Membuf.read m.m_buf ~off:(m.m_off + off) ~len
+      in
+      let last = i = n - 1 in
+      let ck =
+        {
+          ck_off = off;
+          ck_data = data;
+          ck_last = (if last then Some rr else None);
+        }
+      in
+      let size = len + Wire.chunk_header in
+      let msg =
+        if i = 0 then
+          (* the first chunk opens the session optimistically *)
+          P_copy_open
+            {
+              copy_id;
+              src_ctrl = ctrl.ctrl_id;
+              dst;
+              total = m.m_len;
+              chunk = ck;
+            }
+        else P_copy_chunk { copy_id; src_ctrl = ctrl.ctrl_id; chunk = ck }
+      in
+      Net.Endpoint.post ctrl.fabric ~src:ctrl.cnode dst_ctrl.peer_ep
+        ~cls:Net.Stats.Data ~size msg;
+      Obs.Metrics.incr ~by:len ctrl.cm.cm_copy_bytes;
+      if not cfg.double_buffering then
+        (* strict serial chunks: wait out the wire time before
+           reading the next chunk *)
+        Net.Fabric.transfer ctrl.fabric ~src:ctrl.cnode ~dst:dst_ctrl.cnode
+          ~cls:Net.Stats.Control ~size:1 ())
+    chunks
+
+(* Pipelined source (copy_window > 1 or copy_streams > 1): chunks fan out
+   round-robin over [copy_streams] stream fibers (modeling multi-QP RDMA),
+   each chunk waiting for a flow-control credit before its RDMA read, so at
+   most [copy_window] uncredited chunks are in flight. Staging memcpys are
+   charged to the copy engine, keeping the syscall cores free for unrelated
+   traffic. The chunk at index 0 carries the session open and is posted
+   before the streams start, so the destination cannot see data from this
+   controller ahead of the session parameters. *)
+let do_copy_chunks_pipelined ctrl ~dst ~dst_ctrl ~(m : mem) ~copy_id
+    (rr : unit rreply) =
+  let cfg = config ctrl in
+  let chunks = Array.of_list (chunk_sizes m.m_len cfg.bounce_chunk) in
+  let n = Array.length chunks in
+  let window = cfg.copy_window in
+  let streams = min cfg.copy_streams n in
+  let credits = Sim.Semaphore.create window in
+  Hashtbl.replace ctrl.copy_credits copy_id credits;
+  let max_inflight = ref 0 in
+  let send_chunk i =
+    let off, len = chunks.(i) in
+    span ctrl
+      ~attrs:(fun () ->
+        [ ("off", string_of_int off); ("len", string_of_int len) ])
+      "ctrl.copy.chunk"
+    @@ fun () ->
+    Sim.Semaphore.acquire credits;
+    let inflight = window - Sim.Semaphore.available credits in
+    if inflight > !max_inflight then max_inflight := inflight;
+    Obs.Metrics.add ctrl.cm.cm_copy_inflight 1;
+    if len > 0 then begin
+      (* RDMA read from source process memory into the bounce buffer *)
+      Net.Fabric.transfer ctrl.fabric ~src:m.m_buf.Membuf.node ~dst:ctrl.cnode
+        ~cls:Net.Stats.Data ~size:len ();
+      Sim.Resource.use ctrl.copy_engine
+        ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len)
+    end;
+    let data =
+      if len = 0 then Bytes.empty
+      else Membuf.read m.m_buf ~off:(m.m_off + off) ~len
+    in
+    let last = i = n - 1 in
+    let ck =
+      { ck_off = off; ck_data = data; ck_last = (if last then Some rr else None) }
+    in
+    let size = len + Wire.chunk_header in
+    let msg =
+      if i = 0 then
+        P_copy_open
+          { copy_id; src_ctrl = ctrl.ctrl_id; dst; total = m.m_len; chunk = ck }
+      else P_copy_chunk { copy_id; src_ctrl = ctrl.ctrl_id; chunk = ck }
+    in
+    Net.Endpoint.post ctrl.fabric ~src:ctrl.cnode dst_ctrl.peer_ep
+      ~cls:Net.Stats.Data ~size msg;
+    Obs.Metrics.incr ~by:len ctrl.cm.cm_copy_bytes
+  in
+  send_chunk 0;
+  if n > 1 then begin
+    let wg = Sim.Waitgroup.create () in
+    for s = 0 to streams - 1 do
+      Sim.Waitgroup.spawn wg (fun () ->
+          span ctrl
+            ~attrs:(fun () -> [ ("stream", string_of_int s) ])
+            "ctrl.copy.stream"
+          @@ fun () ->
+          let i = ref (1 + s) in
+          while !i < n do
+            send_chunk !i;
+            i := !i + streams
+          done)
+    done;
+    Sim.Waitgroup.wait wg
+  end;
+  (* all chunks posted: retire the window. Credits still in flight find no
+     session and are dropped; the inflight gauge gives back exactly the
+     permits this session still holds. *)
+  Hashtbl.remove ctrl.copy_credits copy_id;
+  Obs.Metrics.add ctrl.cm.cm_copy_inflight
+    (Sim.Semaphore.available credits - window);
+  Obs.Span.set_attr (Obs.Span.current ()) "max_inflight"
+    (string_of_int !max_inflight)
+
 let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
+  let pcfg = config ctrl in
   span ctrl
-    ~attrs:(fun () -> [ ("src_oid", string_of_int src.a_oid) ])
+    ~attrs:(fun () ->
+      let base = [ ("src_oid", string_of_int src.a_oid) ] in
+      if pipelined pcfg then
+        base
+        @ [
+            ("window", string_of_int pcfg.copy_window);
+            ("streams", string_of_int pcfg.copy_streams);
+          ]
+      else base)
     "ctrl.copy"
   @@ fun () ->
   let cfg = config ctrl in
@@ -665,57 +963,19 @@ let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
       | O_memory m -> (
         if not m.m_perms.Perms.read then
           rreply_to ctrl rr (Error Error.Perm_denied)
+        else if not m.m_owner.alive then
+          (* symmetric with do_copy_open's destination check: never read a
+             dead owner's buffer *)
+          rreply_to ctrl rr (Error Error.Provider_dead)
         else
           match peer_of_addr ctrl dst with
           | None -> rreply_to ctrl rr (Error Error.Ctrl_unreachable)
           | Some dst_ctrl ->
             incr next_copy_id;
             let copy_id = !next_copy_id in
-            let chunks = chunk_sizes m.m_len cfg.bounce_chunk in
-            let n = List.length chunks in
-            List.iteri
-              (fun i (off, len) ->
-                span ctrl
-                  ~attrs:(fun () ->
-                    [ ("off", string_of_int off); ("len", string_of_int len) ])
-                  "ctrl.copy.chunk"
-                @@ fun () ->
-                (* RDMA read from source process memory into the bounce
-                   buffer *)
-                if len > 0 then
-                  Net.Fabric.transfer ctrl.fabric ~src:m.m_buf.Membuf.node
-                    ~dst:ctrl.cnode ~cls:Net.Stats.Data ~size:len ();
-                if len > 0 then
-                  Sim.Resource.use ctrl.cpu
-                    ~duration:
-                      (Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
-                let data =
-                  if len = 0 then Bytes.empty
-                  else Membuf.read m.m_buf ~off:(m.m_off + off) ~len
-                in
-                let last = i = n - 1 in
-                let ck =
-                  {
-                    ck_off = off;
-                    ck_data = data;
-                    ck_last = (if last then Some rr else None);
-                  }
-                in
-                let size = len + Wire.chunk_header in
-                let msg =
-                  if i = 0 then
-                    (* the first chunk opens the session optimistically *)
-                    P_copy_open { copy_id; dst; total = m.m_len; chunk = ck }
-                  else P_copy_chunk { copy_id; chunk = ck }
-                in
-                Net.Endpoint.post ctrl.fabric ~src:ctrl.cnode dst_ctrl.peer_ep
-                  ~cls:Net.Stats.Data ~size msg;
-                if not cfg.double_buffering then
-                  (* strict serial chunks: wait out the wire time before
-                     reading the next chunk *)
-                  Net.Fabric.transfer ctrl.fabric ~src:ctrl.cnode
-                    ~dst:dst_ctrl.cnode ~cls:Net.Stats.Control ~size:1 ())
-              chunks)
+            if pipelined cfg then
+              do_copy_chunks_pipelined ctrl ~dst ~dst_ctrl ~m ~copy_id rr
+            else do_copy_chunks_serial ctrl ~dst ~dst_ctrl ~m ~copy_id rr)
       | O_request _ | O_indirect ->
         rreply_to ctrl rr
           (Error (Error.Bad_argument "memory_copy source is not Memory"))))
@@ -724,11 +984,23 @@ let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
    caller's controller programs the NIC; data moves once, directly between
    the two process buffers, with no controller staging. *)
 let do_copy_hw ctrl ~src_mem ~dst_mem (rr : unit rreply) =
+  (* async span, finished from the completion callback: --breakdown then
+     attributes the one-sided transfer to the copy engine instead of
+     leaving it as untraced idle time *)
+  let sp =
+    if Obs.Span.enabled () then
+      Obs.Span.start ~node:(node_name ctrl) ~name:"ctrl.copy"
+        ~attrs:[ ("hw", "true"); ("len", string_of_int src_mem.m_len) ]
+        ()
+    else 0
+  in
   Membuf.blit ~src:src_mem.m_buf ~src_off:src_mem.m_off ~dst:dst_mem.m_buf
     ~dst_off:dst_mem.m_off ~len:src_mem.m_len;
+  Obs.Metrics.incr ~by:src_mem.m_len ctrl.cm.cm_copy_bytes;
   Net.Fabric.send ctrl.fabric ~src:src_mem.m_buf.Membuf.node
     ~dst:dst_mem.m_buf.Membuf.node ~cls:Net.Stats.Data ~size:src_mem.m_len
     (once (fun () ->
+         Obs.Span.finish sp;
          Net.Fabric.send ctrl.fabric ~src:dst_mem.m_buf.Membuf.node
            ~dst:rr.rr_ctrl.cnode ~size:Wire.response (fun () ->
              ignore (Sim.Ivar.try_fill rr.rr_ivar (Ok ())))))
@@ -1174,7 +1446,7 @@ let dispatch_peer ctrl msg =
   | P_copy_pull { src; dst; reply } ->
     charge ctrl [ (Net.Cost.Msg, 1) ];
     do_copy_pull ctrl ~src ~dst reply
-  | P_copy_open { copy_id; dst; total; chunk } -> (
+  | P_copy_open { copy_id; src_ctrl; dst; total; chunk } -> (
     charge ctrl [ (Net.Cost.Msg, 1) ];
     let drain_pending deliver =
       match Hashtbl.find_opt ctrl.copy_pending copy_id with
@@ -1183,15 +1455,20 @@ let dispatch_peer ctrl msg =
         Hashtbl.remove ctrl.copy_pending copy_id;
         Queue.iter deliver q
     in
-    match do_copy_open ctrl ~copy_id ~dst ~total with
+    match do_copy_open ctrl ~copy_id ~src_ctrl ~dst ~total with
     | Ok () -> (
       match Hashtbl.find_opt ctrl.copy_sessions copy_id with
       | Some chan ->
         Sim.Channel.send chan chunk;
-        drain_pending (Sim.Channel.send chan)
+        drain_pending (fun (_, ck) -> Sim.Channel.send chan ck)
       | None -> ())
     | Error e ->
+      (* rejected chunks never reach a writer, so their flow-control
+         credits must come back from here or the pipelined source's
+         stream fibers wedge on the window semaphore *)
       let reject (ck : copy_chunk) =
+        if pipelined (config ctrl) then
+          grant_credit ctrl ~src_ctrl ~copy_id ~credits:1;
         match ck.ck_last with
         | Some rr ->
           Hashtbl.remove ctrl.copy_failures copy_id;
@@ -1199,15 +1476,17 @@ let dispatch_peer ctrl msg =
         | None -> ()
       in
       reject chunk;
-      drain_pending reject)
-  | P_copy_chunk { copy_id; chunk } -> (
+      drain_pending (fun (_, ck) -> reject ck))
+  | P_copy_chunk { copy_id; src_ctrl; chunk } -> (
     match Hashtbl.find_opt ctrl.copy_sessions copy_id with
     | Some chan -> Sim.Channel.send chan chunk
     | None -> (
       match Hashtbl.find_opt ctrl.copy_failures copy_id with
       | Some e -> (
         (* session rejected at open time: the final chunk carries the
-           error back *)
+           error back; the chunk's credit is refunded (see above) *)
+        if pipelined (config ctrl) then
+          grant_credit ctrl ~src_ctrl ~copy_id ~credits:1;
         match chunk.ck_last with
         | Some rr ->
           Hashtbl.remove ctrl.copy_failures copy_id;
@@ -1222,9 +1501,24 @@ let dispatch_peer ctrl msg =
           | None ->
             let q = Queue.create () in
             Hashtbl.replace ctrl.copy_pending copy_id q;
+            (* a lost open (fault injection) would park these forever:
+               reclaim after copy_open_timeout *)
+            schedule_pending_sweep ctrl copy_id q;
             q
         in
-        Queue.add chunk q))
+        Queue.add (src_ctrl, chunk) q))
+  | P_copy_credit { copy_id; credits } -> (
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    match Hashtbl.find_opt ctrl.copy_credits copy_id with
+    | Some sem ->
+      for _ = 1 to credits do
+        Sim.Semaphore.release sem
+      done;
+      Obs.Metrics.add ctrl.cm.cm_copy_inflight (-credits)
+    | None ->
+      (* session already retired (all chunks posted): late credits are
+         dropped; the source settled the inflight gauge at retirement *)
+      ())
 
 let peer_name = function
   | P_invoke _ -> "invoke"
@@ -1241,6 +1535,7 @@ let peer_name = function
   | P_copy_pull _ -> "copy_pull"
   | P_copy_open _ -> "copy_open"
   | P_copy_chunk _ -> "copy_chunk"
+  | P_copy_credit _ -> "copy_credit"
 
 let handle_peer ctrl msg =
   Obs.Metrics.incr ctrl.cm.cm_peer_msgs;
@@ -1269,6 +1564,7 @@ let reject_peer msg =
     match chunk.ck_last with
     | Some rr -> kill rr
     | None -> ())
+  | P_copy_credit _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -1285,6 +1581,7 @@ let create fabric ~node =
       cnode = node;
       epoch = 0;
       cpu = Sim.Resource.create ~servers:2 ();
+      copy_engine = Sim.Resource.create ~servers:2 ();
       sys_ep =
         (* the syscall queue carries the admission bound; the peer queue
            stays unbounded — shedding the peer protocol (acks, copy
@@ -1304,6 +1601,7 @@ let create fabric ~node =
       copy_sessions = Hashtbl.create 8;
       copy_failures = Hashtbl.create 8;
       copy_pending = Hashtbl.create 8;
+      copy_credits = Hashtbl.create 8;
       cap_gen = 0;
       cm =
         {
@@ -1319,6 +1617,9 @@ let create fabric ~node =
           cm_tcache_misses = Obs.Metrics.counter ~node:nn "ctrl.tcache_misses";
           cm_ref_inc_timeouts =
             Obs.Metrics.counter ~node:nn "ctrl.ref_inc_timeouts";
+          cm_copy_bytes = Obs.Metrics.counter ~node:nn "ctrl.copy_bytes";
+          cm_copy_inflight = Obs.Metrics.gauge ~node:nn "ctrl.copy_inflight";
+          cm_copy_orphans = Obs.Metrics.counter ~node:nn "ctrl.copy_orphans";
         };
     }
   in
@@ -1444,6 +1745,7 @@ let restart ctrl =
   Hashtbl.reset ctrl.copy_sessions;
   Hashtbl.reset ctrl.copy_failures;
   Hashtbl.reset ctrl.copy_pending;
+  Hashtbl.reset ctrl.copy_credits;
   ctrl.next_oid <- 1;
   ctrl.running <- true;
   (* reboot invalidates every outstanding translation memo (the epoch
@@ -1455,6 +1757,8 @@ let restart ctrl =
 
 let live_objects ctrl = Objects.live_count ctrl
 let tombstones ctrl = Objects.tombstone_count ctrl
+let copy_pending_count ctrl = Hashtbl.length ctrl.copy_pending
+let copy_failures_count ctrl = Hashtbl.length ctrl.copy_failures
 let is_running ctrl = ctrl.running
 let epoch ctrl = ctrl.epoch
 let id ctrl = ctrl.ctrl_id

@@ -71,6 +71,17 @@ val live_objects : t -> int
 val tombstones : t -> int
 val is_running : t -> bool
 
+val copy_pending_count : t -> int
+(** Copy chunks parked waiting for a session open that never arrived (plus
+    any whose open is still in flight). Zero once a run has quiesced —
+    leaked entries mean a lost [P_copy_open] was never reclaimed; see
+    {!Net.Config.copy_open_timeout} and [Fault.Invariants]. *)
+
+val copy_failures_count : t -> int
+(** Open-time copy failures parked for their final chunk's reply path.
+    Zero once a run has quiesced, same reclamation rules as
+    {!copy_pending_count}. *)
+
 val epoch : t -> int
 (** Current epoch; bumped by every {!restart}. *)
 

@@ -5,17 +5,19 @@ module Fs = Fractos_services.Fs
 module Faceverify = Fractos_services.Faceverify
 module Facedata = Fractos_workloads.Facedata
 
-type workload = Faceverify | Fs | Mixed
+type workload = Faceverify | Fs | Mixed | Copy
 
 let workload_to_string = function
   | Faceverify -> "faceverify"
   | Fs -> "fs"
   | Mixed -> "mixed"
+  | Copy -> "copy"
 
 let workload_of_string = function
   | "faceverify" -> Some Faceverify
   | "fs" -> Some Fs
   | "mixed" -> Some Mixed
+  | "copy" -> Some Copy
   | _ -> None
 
 type report = {
@@ -45,6 +47,11 @@ let batch = 4
 let file_size = 4 * 4096
 let op_len = 4096
 
+(* Copy workload: large enough to span several bounce-buffer chunks (8 at
+   the default 16 KiB), so drop/dup/delay faults land mid-session and the
+   windowed engine's reorder/credit paths are exercised. *)
+let copy_len = 128 * 1024
+
 (* The per-attempt deadline must comfortably exceed the natural queueing
    delay (clients share a depth-limited pipeline), or timeouts themselves
    congest the system with retries. *)
@@ -56,7 +63,8 @@ let policy =
     p_backoff_cap = Sim.Time.us 800;
   }
 
-let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ~spec ~seed () =
+let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
+    ~seed () =
   (* Reset process-global state so chaos runs are independent of whatever
      ran earlier in the same process (in-process determinism). *)
   Core.Controller.reset_ids ();
@@ -79,12 +87,12 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ~spec ~seed () =
   let end_time = ref 0 in
   let is_fs_client k =
     match workload with
-    | Faceverify -> false
+    | Faceverify | Copy -> false
     | Fs -> true
     | Mixed -> k mod 2 = 1
   in
   (try
-     Tb.run (fun tb ->
+     Tb.run ?config (fun tb ->
          let cl = Cluster.make ~extent_size:(n_images * img_size) tb in
          let app = cl.Cluster.app in
          let proc = Svc.proc app in
@@ -123,6 +131,49 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ~spec ~seed () =
                  in
                  Some (ref handle, name, ro, rw)
                end)
+         in
+         (* Copy workload: per-client pattern-filled source on the app node
+            and destination on the storage node, owned by a process behind
+            the storage controller — every memory_copy is a third-party
+            transfer between two controllers. *)
+         let copy_clients =
+           if workload <> Copy then [||]
+           else begin
+             let sto_ctrl =
+               List.find
+                 (fun c ->
+                   Net.Node.same_machine
+                     Core.State.(c.cnode)
+                     cl.Cluster.storage_node)
+                 tb.Tb.ctrls
+             in
+             let peer =
+               Tb.add_proc tb ~on:cl.Cluster.storage_node ~ctrl:sto_ctrl
+                 "copy-peer"
+             in
+             Array.init clients (fun k ->
+                 let pattern =
+                   Bytes.init copy_len (fun i ->
+                       Char.chr ((k * 37 + i) land 0xff))
+                 in
+                 let src_buf =
+                   Core.Membuf.create ~node:cl.Cluster.app_node copy_len
+                 in
+                 Core.Membuf.write src_buf ~off:0 pattern;
+                 let dst_buf =
+                   Core.Membuf.create ~node:cl.Cluster.storage_node copy_len
+                 in
+                 let src_cap =
+                   Core.Error.ok_exn
+                     (Core.Api.memory_create proc src_buf Core.Perms.ro)
+                 in
+                 let dst_rw =
+                   Core.Error.ok_exn
+                     (Core.Api.memory_create peer dst_buf Core.Perms.rw)
+                 in
+                 let dst_cap = Tb.grant ~src:peer ~dst:proc dst_rw in
+                 (src_cap, dst_cap, dst_buf, pattern))
+           end
          in
          (* Arm the fault plan. *)
          let pl =
@@ -194,6 +245,19 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ~spec ~seed () =
                    | Error _ as e -> e
                    | Ok () -> Fs.read app h ~off ~len:op_len ~dst:rw)
          in
+         let do_copy k idx =
+           let src_cap, dst_cap, dst_buf, pattern = copy_clients.(k) in
+           Retry.run ~policy
+             ~refresh:(fun _e -> ())
+             (fun () ->
+               match Core.Api.memory_copy proc ~src:src_cap ~dst:dst_cap with
+               | Ok () ->
+                   let got = Core.Membuf.read dst_buf ~off:0 ~len:copy_len in
+                   if not (Bytes.equal got pattern) then
+                     viol "request %d: copy completed with corrupt bytes" idx;
+                   Ok ()
+               | Error _ as e -> e)
+         in
          (* Drive the clients. *)
          let master = Sim.Prng.create ~seed:(seed lxor 0x107a05) in
          let rngs = Array.init clients (fun _ -> Sim.Prng.split master) in
@@ -204,8 +268,11 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ~spec ~seed () =
                while !idx < requests do
                  let i = !idx in
                  let r =
-                   if is_fs_client k then do_fs k rngs.(k) i
-                   else do_fv rngs.(k) i
+                   match workload with
+                   | Copy -> do_copy k i
+                   | Faceverify | Fs | Mixed ->
+                       if is_fs_client k then do_fs k rngs.(k) i
+                       else do_fv rngs.(k) i
                  in
                  results.(i) <- Some r;
                  idx := i + clients

@@ -14,7 +14,15 @@
     [(seed, spec, workload, clients, requests)] reproduces bit-for-bit:
     same report text, same audit digest. *)
 
-type workload = Faceverify | Fs | Mixed
+type workload =
+  | Faceverify
+  | Fs
+  | Mixed
+  | Copy
+      (** Per-client third-party [memory_copy] of a pattern-filled buffer
+          from the app node to a destination behind the storage controller,
+          with post-completion byte-equality checking — exercises the copy
+          engine's session, credit and reorder paths under faults. *)
 
 val workload_to_string : workload -> string
 val workload_of_string : string -> workload option
@@ -40,13 +48,17 @@ val run :
   ?clients:int ->
   ?requests:int ->
   ?workload:workload ->
+  ?config:Net.Config.t ->
   spec:Spec.t ->
   seed:int ->
   unit ->
   report
-(** Execute one chaos run (defaults: 6 clients, 24 requests, {!Mixed}).
-    Never raises on injected faults: a fiber deadlock or an escaped typed
-    error is folded into [r_violations]. *)
+(** Execute one chaos run (defaults: 6 clients, 24 requests, {!Mixed},
+    default fabric calibration). [config] overrides the fabric knobs — in
+    particular [copy_window]/[copy_streams], so the {!Copy} workload can
+    chaos-test the pipelined engine. Never raises on injected faults: a
+    fiber deadlock or an escaped typed error is folded into
+    [r_violations]. *)
 
 val passed : report -> bool
 (** [r.r_violations = []]. *)

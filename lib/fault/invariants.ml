@@ -109,4 +109,19 @@ let check ~ctrls ~plan ~install_time () =
           add "ctrl %d holds %d tombstone(s) after a lossless crash-free run"
             (Core.Controller.id c) t)
       ctrl_arr;
+  (* Pass 5: no leaked copy-session state. Once the run has quiesced, every
+     parked chunk (open lost or still in flight) and every parked open-time
+     failure must have been consumed or reclaimed by the open timeout —
+     anything left is a permanent leak at the destination controller. *)
+  Array.iter
+    (fun c ->
+      let pending = Core.Controller.copy_pending_count c in
+      if pending <> 0 then
+        add "ctrl %d leaked %d parked copy-chunk queue(s) after quiescence"
+          (Core.Controller.id c) pending;
+      let failures = Core.Controller.copy_failures_count c in
+      if failures <> 0 then
+        add "ctrl %d leaked %d parked copy failure(s) after quiescence"
+          (Core.Controller.id c) failures)
+    ctrl_arr;
   List.rev !violations

@@ -20,6 +20,9 @@ type t = {
   memcpy_bw_bps : int;
   hw_copies : bool;
   double_buffering : bool;
+  copy_window : int;
+  copy_streams : int;
+  copy_open_timeout : Sim.Time.t;
   nvme_read_latency : Sim.Time.t;
   nvme_write_latency : Sim.Time.t;
   nvme_bandwidth_bps : int;
@@ -65,6 +68,9 @@ let default =
     memcpy_bw_bps = 80_000_000_000;
     hw_copies = false;
     double_buffering = true;
+    copy_window = 1;
+    copy_streams = 1;
+    copy_open_timeout = Sim.Time.ms 5;
     nvme_read_latency = Sim.Time.us 70;
     nvme_write_latency = Sim.Time.us 12;
     nvme_bandwidth_bps = 20_000_000_000;
@@ -86,6 +92,18 @@ let default =
     translation_cache = false;
     peer_ack_timeout = Sim.Time.ms 2;
   }
+
+(* The copy engine divides by these knobs ([chunk_sizes] would loop forever
+   on a non-positive chunk), so reject bad values at fabric construction
+   instead of hanging a simulation later. *)
+let validate t =
+  let pos name v =
+    if v <= 0 then
+      invalid_arg (Printf.sprintf "Net.Config: %s must be positive (got %d)" name v)
+  in
+  pos "bounce_chunk" t.bounce_chunk;
+  pos "copy_window" t.copy_window;
+  pos "copy_streams" t.copy_streams
 
 let bytes_time ~bw_bps n =
   if n <= 0 then 0

@@ -82,7 +82,27 @@ type t = {
   double_buffering : bool;
       (** Pipeline bounce-buffer chunks (read chunk i+1 while chunk i is in
           flight). The prototype enables this for copies > 16 KiB; turning
-          it off is the ablation knob. *)
+          it off is the ablation knob. Only meaningful on the serial engine
+          (see [copy_window]/[copy_streams]). *)
+  copy_window : int;
+      (** Maximum chunks in flight per copy session (windowed pipelining
+          with credit-based flow control: the destination grants one credit
+          back per drained bounce-buffer slot, bounding its staging memory
+          to [copy_window * bounce_chunk]). 1 (default) selects the serial
+          engine — bit-for-bit the pre-windowing behavior. *)
+  copy_streams : int;
+      (** Parallel chunk streams per copy session (modeling multi-QP RDMA):
+          chunks are assigned round-robin to this many source fibers, and
+          the destination writer coalesces them by offset. Streams share
+          the session's [copy_window] credit pool. 1 (default) = single
+          stream; any value > 1 selects the pipelined engine. *)
+  copy_open_timeout : Sim.Time.t;
+      (** How long a destination controller keeps state for a copy session
+          whose [P_copy_open] has not arrived (chunks parked out of order,
+          or an open-time failure waiting for its final chunk) before
+          reclaiming it. Lost opens (fault injection) would otherwise leak
+          parked chunks forever; a reclaimed final chunk replies [Timeout].
+          0 = keep forever (the pre-timeout behavior). *)
   (* -------- NVMe device model -------- *)
   nvme_read_latency : Sim.Time.t;
       (** 4 KiB random-read device latency. Anchor: "NVMe latency dominates
@@ -166,6 +186,12 @@ type t = {
 
 val default : t
 (** The calibration used by all experiments unless overridden. *)
+
+val validate : t -> unit
+(** Raise [Invalid_argument] when a knob the copy engine divides the work
+    by is non-positive ([bounce_chunk], [copy_window], [copy_streams]).
+    Called by [Fabric.create], so a bad config fails fast instead of
+    spinning [chunk_sizes] forever. *)
 
 val bytes_time : bw_bps:int -> int -> Sim.Time.t
 (** [bytes_time ~bw_bps n] is the time to move [n] bytes at [bw_bps] bits

@@ -13,6 +13,7 @@ type t = {
 }
 
 let create ?(config = Config.default) () =
+  Config.validate config;
   {
     config;
     stats = Stats.create ();

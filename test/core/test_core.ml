@@ -193,6 +193,113 @@ let test_memory_create_bounds () =
         (Error Error.Bounds)
         (Api.memory_create pa ~off:4 ~len:8 buf Perms.rw))
 
+(* ------------------------------------------------------------------ *)
+(* Windowed / multi-stream copy engine                                 *)
+(* ------------------------------------------------------------------ *)
+
+let copy_config ?(net_gbps = 10) ~window ~streams () =
+  {
+    Fractos_net.Config.default with
+    net_bandwidth_bps = net_gbps * 1_000_000_000;
+    copy_window = window;
+    copy_streams = streams;
+  }
+
+(* Cross-node copy round trip at the given knobs; returns elapsed time. *)
+let timed_copy ?net_gbps ~window ~streams n =
+  Tb.run ~config:(copy_config ?net_gbps ~window ~streams ()) (fun tb ->
+      let pa, pb, _, _ = two_node_setup tb in
+      let src_buf = Process.alloc pa n in
+      let g = Prng.create ~seed:(n + (window * 131) + streams) in
+      Prng.fill_bytes g src_buf.Membuf.data;
+      let dst_buf = Process.alloc pb n in
+      let src = ok_exn (Api.memory_create pa src_buf Perms.ro) in
+      let dst =
+        Tb.grant ~src:pb ~dst:pa
+          (ok_exn (Api.memory_create pb dst_buf Perms.rw))
+      in
+      let t0 = Engine.now () in
+      ok_exn (Api.memory_copy pa ~src ~dst);
+      let elapsed = Engine.now () - t0 in
+      check_bool
+        (Printf.sprintf "bytes equal (n=%d window=%d streams=%d)" n window
+           streams)
+        true
+        (Bytes.equal src_buf.Membuf.data dst_buf.Membuf.data);
+      elapsed)
+
+let test_copy_pipelined_single_chunk () =
+  (* a sub-chunk copy must still work when the pipelined engine is on *)
+  ignore (timed_copy ~window:8 ~streams:4 100)
+
+let test_copy_pipelined_faster_on_fast_fabric () =
+  (* On a 100 Gbps fabric the serial engine is latency-bound on its
+     per-chunk staging round trip; the windowed multi-stream engine must
+     recover at least 2x effective bandwidth on a 1 MiB copy (the ISSUE's
+     acceptance bar, also asserted by bin/bench_smoke.sh). *)
+  let n = 1 lsl 20 in
+  let serial = timed_copy ~net_gbps:100 ~window:1 ~streams:1 n in
+  let pipelined = timed_copy ~net_gbps:100 ~window:8 ~streams:4 n in
+  check_bool
+    (Printf.sprintf "pipelined (%s) at least 2x faster than serial (%s)"
+       (Time.to_string pipelined) (Time.to_string serial))
+    true
+    (2 * pipelined <= serial)
+
+let test_copy_pipelined_default_knobs_identical () =
+  (* window = streams = 1 must reproduce the serial engine bit-for-bit:
+     same simulated completion time, not just same bytes *)
+  let n = 300_000 in
+  let explicit = timed_copy ~window:1 ~streams:1 n in
+  let default_cfg =
+    Tb.run (fun tb ->
+        let pa, pb, _, _ = two_node_setup tb in
+        let src_buf = Process.alloc pa n in
+        let g = Prng.create ~seed:(n + 131 + 1) in
+        Prng.fill_bytes g src_buf.Membuf.data;
+        let dst_buf = Process.alloc pb n in
+        let src = ok_exn (Api.memory_create pa src_buf Perms.ro) in
+        let dst =
+          Tb.grant ~src:pb ~dst:pa
+            (ok_exn (Api.memory_create pb dst_buf Perms.rw))
+        in
+        let t0 = Engine.now () in
+        ok_exn (Api.memory_copy pa ~src ~dst);
+        Engine.now () - t0)
+  in
+  check_int "default config = serial engine timing" explicit default_cfg
+
+let test_copy_pipelined_decoupled_from_invokes () =
+  (* A bulk pipelined copy stages through the controller's copy engine,
+     not its syscall cores: an unrelated null syscall issued mid-copy must
+     not be head-of-line blocked behind ~64 chunk memcpys. *)
+  Tb.run ~config:(copy_config ~net_gbps:100 ~window:8 ~streams:4 ())
+    (fun tb ->
+      let pa, pb, _, _ = two_node_setup tb in
+      let n = 1 lsl 20 in
+      let src_buf = Process.alloc pa n in
+      let dst_buf = Process.alloc pb n in
+      let src = ok_exn (Api.memory_create pa src_buf Perms.ro) in
+      let dst =
+        Tb.grant ~src:pb ~dst:pa
+          (ok_exn (Api.memory_create pb dst_buf Perms.rw))
+      in
+      let t0 = Engine.now () in
+      ignore (ok_exn (Api.null pa));
+      let idle_null = Engine.now () - t0 in
+      let copy_done = Api.memory_copy_async pa ~src ~dst in
+      (* land in the middle of the copy's lifetime *)
+      Engine.sleep (Time.us 30);
+      let t1 = Engine.now () in
+      ignore (ok_exn (Api.null pa));
+      let busy_null = Engine.now () - t1 in
+      ok_exn (Ivar.await copy_done);
+      check_bool
+        (Printf.sprintf "null during copy (%s) close to idle null (%s)"
+           (Time.to_string busy_null) (Time.to_string idle_null))
+        true
+        (busy_null <= 3 * idle_null))
+
 let test_invalid_cid () =
   Tb.run (fun tb ->
       let pa, _, _, _ = two_node_setup tb in
@@ -917,6 +1024,19 @@ let prop_copy_integrity =
           ok_exn (Api.memory_copy pa ~src ~dst);
           Bytes.equal src_buf.Membuf.data dst_buf.Membuf.data))
 
+(* Copy integrity across the engine's knob space: any (size, window,
+   streams) combination must deliver the same bytes, including the
+   out-of-order multi-stream arrivals the reorder buffer absorbs. *)
+let prop_copy_integrity_knobs =
+  QCheck.Test.make ~name:"memory_copy integrity at any window/streams"
+    ~count:15
+    QCheck.(
+      triple (int_range 1 100_000) (int_range 1 16) (int_range 1 8))
+    (fun (n, window, streams) ->
+      ignore (timed_copy ~window ~streams n);
+      (* byte equality is checked (and fails the test) inside timed_copy *)
+      true)
+
 (* Derivation never widens permissions. *)
 let prop_diminish_monotone =
   let perm_gen =
@@ -963,6 +1083,18 @@ let () =
           Alcotest.test_case "copy bounds" `Quick test_memory_copy_bounds;
           Alcotest.test_case "create bounds" `Quick test_memory_create_bounds;
           qtest prop_copy_integrity;
+        ] );
+      ( "pipelined copy",
+        [
+          Alcotest.test_case "single chunk" `Quick
+            test_copy_pipelined_single_chunk;
+          Alcotest.test_case "2x faster on 100G fabric" `Quick
+            test_copy_pipelined_faster_on_fast_fabric;
+          Alcotest.test_case "default knobs identical" `Quick
+            test_copy_pipelined_default_knobs_identical;
+          Alcotest.test_case "decoupled from invokes" `Quick
+            test_copy_pipelined_decoupled_from_invokes;
+          qtest prop_copy_integrity_knobs;
         ] );
       ( "diminish",
         [

@@ -388,8 +388,11 @@ let test_local_faults_ignored () =
 (* Chaos harness                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let small_chaos ?(spec = Spec.none) ?(workload = Chaos.Mixed) seed =
-  Chaos.run ~clients:4 ~requests:8 ~workload ~spec ~seed ()
+let small_chaos ?(spec = Spec.none) ?(workload = Chaos.Mixed) ?config seed =
+  Chaos.run ~clients:4 ~requests:8 ~workload ?config ~spec ~seed ()
+
+let pipelined_config =
+  { Net.Config.default with copy_window = 8; copy_streams = 4 }
 
 let test_chaos_clean_run () =
   let r = small_chaos 1 in
@@ -449,7 +452,92 @@ let test_chaos_crash_epoch_bump () =
         true (Chaos.passed r);
       check_bool "some controller rebooted" true
         (List.exists (fun (_, epoch, _, _) -> epoch = 1) r.Chaos.r_ctrls))
-    [ Chaos.Faceverify; Chaos.Fs; Chaos.Mixed ]
+    [ Chaos.Faceverify; Chaos.Fs; Chaos.Mixed; Chaos.Copy ]
+
+let test_chaos_copy_workload () =
+  (* large third-party copies under drop/dup/delay: every request must end
+     in a typed completion (ok or error, no hangs), delivered bytes must be
+     intact (Chaos.Copy byte-checks each completion), and no copy-session
+     state may leak (Invariants pass 5) — for both the serial engine and
+     the windowed multi-stream one *)
+  List.iter
+    (fun config ->
+      let r = small_chaos ~spec:Spec.default ~workload:Chaos.Copy ?config 11 in
+      check_bool
+        (String.concat "; " r.Chaos.r_violations)
+        true (Chaos.passed r);
+      let errs = List.fold_left (fun n (_, c) -> n + c) 0 r.Chaos.r_errors in
+      check_int "ok + errors = requests" r.Chaos.r_requests
+        (r.Chaos.r_ok + errs))
+    [ None; Some pipelined_config ]
+
+let test_chaos_copy_deterministic () =
+  (* the pipelined engine keeps the harness bit-deterministic: same seed,
+     same digest — even with multi-stream reordering in play *)
+  let spec =
+    match Spec.of_string "drop=0.01,dup=0.01,delayp=0.05,delay=30us" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let a =
+    small_chaos ~spec ~workload:Chaos.Copy ~config:pipelined_config 13
+  in
+  let b =
+    small_chaos ~spec ~workload:Chaos.Copy ~config:pipelined_config 13
+  in
+  check_string "same audit digest" a.Chaos.r_audit_digest
+    b.Chaos.r_audit_digest;
+  check_bool "bit-identical report" true (Chaos.to_lines a = Chaos.to_lines b)
+
+(* A lost P_copy_open used to park the session's chunks in [copy_pending]
+   forever (and hang the caller, whose ack rides the final chunk). The
+   open timeout must reclaim the parked state and fail the copy with a
+   typed error. *)
+let test_copy_open_drop_cleanup () =
+  Tb.run ~config:pipelined_config (fun tb ->
+      let setups = Tb.nodes_with_ctrls tb Tb.Ctrl_cpu [ "a"; "b" ] in
+      let sa = List.nth setups 0 and sb = List.nth setups 1 in
+      let pa = Tb.add_proc tb ~on:sa.Tb.node ~ctrl:sa.Tb.ctrl "pa" in
+      let pb = Tb.add_proc tb ~on:sb.Tb.node ~ctrl:sb.Tb.ctrl "pb" in
+      let n = 128 * 1024 in
+      let src_buf = Core.Process.alloc pa n in
+      let dst_buf = Core.Process.alloc pb n in
+      let src = ok_exn (Core.Api.memory_create pa src_buf Core.Perms.ro) in
+      let dst =
+        Tb.grant ~src:pb ~dst:pa
+          (ok_exn (Core.Api.memory_create pb dst_buf Core.Perms.rw))
+      in
+      (* drop exactly the first cross-node bulk Data message: the
+         session-opening chunk; the rest of the window sails past it *)
+      let dropped = ref false in
+      Net.Fabric.set_fault_hook tb.Tb.fabric
+        (Some
+           (fun ~src ~dst ~cls ~size ->
+             if
+               (not !dropped)
+               && cls = Net.Stats.Data && size > 1024
+               && not (Net.Node.same_machine src dst)
+             then begin
+               dropped := true;
+               Net.Fabric.Drop
+             end
+             else Net.Fabric.Pass));
+      (match Core.Api.memory_copy pa ~src ~dst with
+      | Error Core.Error.Timeout -> ()
+      | Ok () -> Alcotest.fail "copy succeeded without its open"
+      | Error e ->
+        Alcotest.failf "expected Timeout, got %s" (Core.Error.to_string e));
+      Net.Fabric.set_fault_hook tb.Tb.fabric None;
+      check_bool "the open was dropped" true !dropped;
+      (* wait out any stragglers, then check nothing leaked *)
+      Engine.sleep (Time.ms 7);
+      List.iter
+        (fun c ->
+          check_int "no parked chunk queues" 0
+            (Core.Controller.copy_pending_count c);
+          check_int "no parked open failures" 0
+            (Core.Controller.copy_failures_count c))
+        tb.Tb.ctrls)
 
 let test_chaos_report_shape () =
   let r = small_chaos 5 in
@@ -510,5 +598,11 @@ let () =
           Alcotest.test_case "crash bumps epoch" `Quick
             test_chaos_crash_epoch_bump;
           Alcotest.test_case "report shape" `Quick test_chaos_report_shape;
+          Alcotest.test_case "copy workload under faults" `Quick
+            test_chaos_copy_workload;
+          Alcotest.test_case "copy workload deterministic" `Quick
+            test_chaos_copy_deterministic;
+          Alcotest.test_case "dropped open is reclaimed" `Quick
+            test_copy_open_drop_cleanup;
         ] );
     ]

@@ -33,6 +33,27 @@ let test_bytes_time () =
   let t = Config.bytes_time ~bw_bps:10_000_000_000 (4 * 1024 * 1024) in
   check_bool "4MiB in range" true (t > Time.ms 3 && t < Time.ms 4)
 
+let test_config_validate () =
+  (* Non-positive chunking / windowing knobs used to send the chunker into
+     an infinite loop at copy time; they must be rejected up front, both by
+     Config.validate and by Fabric.create. *)
+  let rejects label cfg =
+    match Config.validate cfg with
+    | () -> Alcotest.failf "validate accepted %s" label
+    | exception Invalid_argument _ -> ()
+  in
+  Config.validate Config.default;
+  rejects "bounce_chunk = 0" { Config.default with bounce_chunk = 0 };
+  rejects "bounce_chunk < 0" { Config.default with bounce_chunk = -16384 };
+  rejects "copy_window = 0" { Config.default with copy_window = 0 };
+  rejects "copy_streams = 0" { Config.default with copy_streams = -1 };
+  match
+    Engine.run (fun () ->
+        Fabric.create ~config:{ Config.default with bounce_chunk = 0 } ())
+  with
+  | _ -> Alcotest.fail "Fabric.create accepted bounce_chunk = 0"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Node                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -449,7 +470,12 @@ let qtest t = QCheck_alcotest.to_alcotest t
 let () =
   Alcotest.run "fractos_net"
     [
-      ("config", [ Alcotest.test_case "bytes_time" `Quick test_bytes_time ]);
+      ( "config",
+        [
+          Alcotest.test_case "bytes_time" `Quick test_bytes_time;
+          Alcotest.test_case "validate rejects bad knobs" `Quick
+            test_config_validate;
+        ] );
       ( "node",
         [
           Alcotest.test_case "machine grouping" `Quick
