@@ -47,6 +47,24 @@ let with_experiment name f =
       f
   end
 
+(* Provenance stamp for machine-readable outputs (BENCH_*.json): the
+   commit the numbers came from, the PRNG seeds, and the sweep knobs.
+   [knobs] is a list of ready-made ["key": value] JSON fragments. *)
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ | (exception _) -> "unknown")
+
+let meta_json ~seeds ~knobs =
+  Printf.sprintf "\"meta\": {\"git\": %S, \"seeds\": [%s], \"knobs\": {%s}}"
+    (git_describe ())
+    (String.concat ", " (List.map string_of_int seeds))
+    (String.concat ", " knobs)
+
 let current_slug = ref "untitled"
 let table_counter = ref 0
 

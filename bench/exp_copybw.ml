@@ -148,8 +148,18 @@ let write_json ~points ~fs ~headline path =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\n  \"experiment\": \"copybw\",\n  \"schema\": 1,\n  \"tiny\": %b,\n"
-       !tiny);
+       "{\n  \"experiment\": \"copybw\",\n  \"schema\": 1,\n  \"tiny\": %b,\n  \
+        %s,\n"
+       !tiny
+       (Bench_util.meta_json ~seeds:[]
+          ~knobs:
+            [
+              Printf.sprintf "\"tiny\": %b" !tiny;
+              Printf.sprintf "\"headline_size\": %d" headline_size;
+              Printf.sprintf "\"headline_net_gbps\": %d" headline_net;
+              Printf.sprintf "\"headline_window\": %d" (fst headline_engine);
+              Printf.sprintf "\"headline_streams\": %d" (snd headline_engine);
+            ]));
   Buffer.add_string buf "  \"points\": [\n";
   List.iteri
     (fun i p ->

@@ -32,6 +32,12 @@ let name = "loadcurve"
 let tiny = ref false
 let json_path = ref "BENCH_loadcurve.json"
 
+(* --top: render a live Obs.Dashboard (stderr) during every saturation
+   run. The dashboard fiber only reads the metrics registry, so the
+   measured goodput must not move by more than noise — asserted by the
+   @obs-smoke alias. *)
+let top = ref false
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: face-verification service, FractOS vs baseline              *)
 (* ------------------------------------------------------------------ *)
@@ -141,6 +147,11 @@ let saturation_point ~fast ~rate ~n =
       (match Api.request_invoke client svc with
       | Ok () -> ()
       | Error e -> failwith (Fractos_core.Error.to_string e));
+      let dash =
+        if !top then
+          Some (Fractos_obs.Dashboard.start ~interval:(Time.us 200) ())
+        else None
+      in
       let rng = Prng.create ~seed:11 in
       let ok = ref 0 and err = ref 0 in
       let s =
@@ -149,6 +160,7 @@ let saturation_point ~fast ~rate ~n =
             | Ok () -> incr ok
             | Error _ -> incr err)
       in
+      Option.iter Fractos_obs.Dashboard.stop dash;
       let elapsed_s = Time.to_us_f s.Loadgen.elapsed /. 1e6 in
       {
         pt_offered = rate;
@@ -197,8 +209,17 @@ let write_json ~off ~on path =
   Buffer.add_string buf
     (Printf.sprintf
        "{\n  \"experiment\": \"loadcurve\",\n  \"schema\": 1,\n  \
-        \"tiny\": %b,\n  \"variants\": [\n"
-       !tiny);
+        \"tiny\": %b,\n  %s,\n  \"variants\": [\n"
+       !tiny
+       (Bench_util.meta_json ~seeds:[ 5; 6; 11 ]
+          ~knobs:
+            [
+              Printf.sprintf "\"tiny\": %b" !tiny;
+              Printf.sprintf "\"n_per_rate\": %d" (sweep_n ());
+              Printf.sprintf "\"rates_rps\": [%s]"
+                (String.concat ", "
+                   (List.map (Printf.sprintf "%.0f") (sweep_rates ())));
+            ]));
   json_of_variant buf ~vname:"fastpath-off" ~fast:false off;
   Buffer.add_string buf ",\n";
   json_of_variant buf ~vname:"fastpath-on" ~fast:true on;

@@ -145,6 +145,9 @@ let () =
       Exp_loadcurve.tiny := true;
       Exp_copybw.tiny := true;
       extract_loadcurve acc rest
+    | "--top" :: rest ->
+      Exp_loadcurve.top := true;
+      extract_loadcurve acc rest
     | a :: rest -> extract_loadcurve (a :: acc) rest
     | [] -> List.rev acc
   in

@@ -27,6 +27,10 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 d = json.load(open(sys.argv[1]))
 assert d["experiment"] == "loadcurve"
+meta = d["meta"]
+assert meta["git"], meta
+assert meta["seeds"] == [5, 6, 11], meta
+assert "rates_rps" in meta["knobs"], meta
 variants = d["variants"]
 names = [v["name"] for v in variants]
 assert names == ["fastpath-off", "fastpath-on"], names
@@ -42,6 +46,7 @@ for v in variants:
 EOF
 else
   # Crude fallback: both variants present with at least one data point.
+  grep -q '"meta"' "$json"
   grep -q '"fastpath-off"' "$json"
   grep -q '"fastpath-on"' "$json"
   grep -q '"offered_rps"' "$json"
@@ -59,6 +64,9 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 d = json.load(open(sys.argv[1]))
 assert d["experiment"] == "copybw"
+meta = d["meta"]
+assert meta["git"], meta
+assert "headline_window" in meta["knobs"], meta
 pts = d["points"]
 assert pts, "no sweep points"
 for p in pts:
@@ -72,6 +80,7 @@ assert h["speedup"] >= 2.0, "headline speedup regressed below 2x: %r" % h
 EOF
 else
   # Crude fallback: headline present with both engine figures.
+  grep -q '"meta"' "$copybw"
   grep -q '"serial_gbps"' "$copybw"
   grep -q '"pipelined_gbps"' "$copybw"
   grep -q '"speedup"' "$copybw"

@@ -25,4 +25,6 @@ sh bin/smoke.sh _build/default/bin/fractos.exe _build/default/bench/main.exe
 
 sh bin/bench_smoke.sh _build/default/bench/main.exe
 
+sh bin/obs_smoke.sh _build/default/bin/fractos.exe _build/default/bench/main.exe
+
 echo "== OK"

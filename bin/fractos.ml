@@ -105,18 +105,59 @@ let hist_csv =
         ~doc:"Write per-histogram summary rows (count/mean/percentiles, \
               nanoseconds) to $(docv) as CSV.")
 
+let journal =
+  Arg.(
+    value & flag
+    & info [ "journal" ]
+        ~doc:"Record the flight recorder (admissions, sheds, credit \
+              stalls, cache invalidations, faults) and print a \
+              post-mortem dump after the run.")
+
+let journal_cap =
+  Arg.(
+    value & opt int 16_384
+    & info [ "journal-cap" ] ~docv:"N"
+        ~doc:"Flight-recorder ring capacity; overflow drops the oldest \
+              events and is counted per severity.")
+
+let audit_cap =
+  Arg.(
+    value & opt (some int) None
+    & info [ "audit-cap" ] ~docv:"N"
+        ~doc:"Capability audit ring capacity (default 1048576). Evicted \
+              entries are counted and reported, never silently lost.")
+
+let slo_flag =
+  Arg.(
+    value & flag
+    & info [ "slo" ]
+        ~doc:"Track a latency/error SLO over the request stream and print \
+              the multi-window burn-rate report after the run.")
+
+let top_flag =
+  Arg.(
+    value & flag
+    & info [ "top" ]
+        ~doc:"Render a periodic live dashboard (goodput, sheds, backlogs, \
+              SLO burn) to stderr while the run progresses.")
+
 (* ---------------- run ---------------------------------------------- *)
 
 let run_cmd placement batch requests seed trace trace_json metrics breakdown
-    audit openmetrics hist_csv =
+    audit openmetrics hist_csv journal journal_cap audit_cap slo top =
   let img_size = 4096 and n_images = 4096 in
   Obs.Metrics.reset ();
   if audit then begin
     (* from the very start: the lineage of a capability begins with mint
        and grant events during cluster setup *)
     Obs.Audit.reset ();
-    Obs.Audit.set_capacity (1 lsl 20);
+    Obs.Audit.set_capacity (Option.value ~default:(1 lsl 20) audit_cap);
     Obs.Audit.set_enabled true
+  end;
+  if journal then begin
+    Obs.Journal.reset ();
+    Obs.Journal.set_capacity journal_cap;
+    Obs.Journal.set_enabled true
   end;
   Tb.run (fun tb ->
       let recorder = Fractos_net.Trace.recorder () in
@@ -144,6 +185,20 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
       if trace <> None then
         Net.Fabric.set_tracer tb.Tb.fabric
           (Some (Net.Trace.record recorder));
+      let slo_t =
+        if not slo then None
+        else
+          Some
+            (Obs.Slo.create (Obs.Slo.make ~latency:(Time.ms 1) "request"))
+      in
+      let dash =
+        if not top then None
+        else
+          Some
+            (Obs.Dashboard.start ~interval:(Time.us 200)
+               ?slos:(Option.map (fun s -> [ s ]) slo_t)
+               ())
+      in
       for r = 1 to requests do
         let start_id = Prng.int rng (n_images - batch) in
         let probes =
@@ -155,6 +210,8 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
             ~attrs:[ ("id", string_of_int r) ]
             (fun () -> ok_exn (Faceverify.verify fv ~start_id ~batch ~probes))
         in
+        let latency = Engine.now () - t0 in
+        Option.iter (fun s -> Obs.Slo.observe s ~latency ~ok:true) slo_t;
         let matches =
           Bytes.fold_left
             (fun acc c -> if c = '\001' then acc + 1 else acc)
@@ -163,9 +220,14 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
         Format.printf "  request %2d: ids %5d..%5d  %2d/%2d genuine  %s@." r
           start_id
           (start_id + batch - 1)
-          matches batch
-          (Time.to_string (Engine.now () - t0))
+          matches batch (Time.to_string latency)
       done;
+      Option.iter Obs.Dashboard.stop dash;
+      (match slo_t with
+      | Some s ->
+        ignore (Obs.Slo.check s);
+        Format.printf "@.%a" Obs.Slo.pp_report s
+      | None -> ());
       Format.printf "@.%a@." Net.Stats.pp_census
         (Net.Stats.census (Cluster.stats c));
       if metrics then Format.printf "@.%a" Obs.Metrics.pp ();
@@ -232,6 +294,10 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
                 Format.printf "  ... (%d more events) ...@." (n - 15))
             l
         | [], [] -> Format.printf "@.no revocation events recorded@."
+      end;
+      if journal then begin
+        Obs.Journal.set_enabled false;
+        Format.printf "@.%a" Obs.Journal.dump ()
       end;
       match trace with
       | Some n ->
@@ -379,7 +445,8 @@ let census_cmd batch =
 
 (* ---------------- chaos -------------------------------------------- *)
 
-let chaos_cmd seed faults workload clients requests =
+let chaos_cmd seed faults workload clients requests journal journal_cap
+    sample_keep sample_threshold_us slo top =
   let module F = Fractos_fault in
   let spec =
     match F.Spec.of_string faults with
@@ -397,9 +464,123 @@ let chaos_cmd seed faults workload clients requests =
         workload;
       exit 2
   in
-  let report = F.Chaos.run ~clients ~requests ~workload ~spec ~seed () in
+  if journal then begin
+    Obs.Journal.reset ();
+    Obs.Journal.set_capacity journal_cap;
+    Obs.Journal.set_enabled true
+  end;
+  let sampling =
+    match (sample_keep, sample_threshold_us) with
+    | None, None -> None
+    | keep, threshold ->
+      Some
+        ( Time.us (Option.value ~default:1000 threshold),
+          Option.value ~default:0.01 keep )
+  in
+  let slo =
+    if not slo then None
+    else Some (Obs.Slo.create (Obs.Slo.make ~latency:(Time.ms 1) "chaos"))
+  in
+  let report =
+    F.Chaos.run ~clients ~requests ~workload ?sampling ?slo ~top ~spec ~seed
+      ()
+  in
   List.iter print_endline (F.Chaos.to_lines report);
+  (if sampling <> None then begin
+     let retained = Obs.Sampler.retained () in
+     let n = List.length retained in
+     Printf.printf "retained traces (%d):\n" n;
+     List.iteri
+       (fun i (id, reason) ->
+         if i < 16 then
+           Printf.printf "  trace %d (%s)\n" id
+             (Obs.Sampler.reason_name reason)
+         else if i = 16 then Printf.printf "  ... (%d more)\n" (n - 16))
+       retained;
+     match Obs.Sampler.exemplars () with
+     | [] -> ()
+     | ex ->
+       Printf.printf "exemplars (histogram bucket -> retained trace):\n";
+       List.iter
+         (fun (hist, _k, upper, trace) ->
+           Printf.printf "  %s le=%.0fns -> trace %d\n" hist upper trace)
+         ex
+   end);
+  if journal then begin
+    Obs.Journal.set_enabled false;
+    Format.printf "@.%a" Obs.Journal.dump ()
+  end;
   if not (F.Chaos.passed report) then exit 1
+
+(* ---------------- top ----------------------------------------------- *)
+
+(* A self-contained live-dashboard scenario: a SmartNIC-placed controller
+   with a bounded request queue, driven past saturation by an open-loop
+   invoke workload, with the flight recorder, an SLO tracker and the
+   periodic dashboard all on — the quickest way to watch admission
+   control, burn rates and journal events interact. *)
+let top_cmd rate requests seed interval_us =
+  let module F = Fractos_fault in
+  let module Loadgen = Fractos_workloads.Loadgen in
+  Obs.Metrics.reset ();
+  Obs.Journal.reset ();
+  Obs.Journal.set_enabled true;
+  let config =
+    { Net.Config.default with ctrl_batch = 8; ctrl_queue_bound = 256 }
+  in
+  let slo =
+    Obs.Slo.create
+      (Obs.Slo.make ~latency:(Time.us 100) ~latency_goal:0.9
+         ~windows:[ Time.us 500; Time.ms 2 ] "invoke")
+  in
+  Tb.run ~config (fun tb ->
+      let host = Tb.add_host tb "host" in
+      let ctrl = Tb.add_snic_ctrl tb ~host in
+      let server = Tb.add_proc tb ~on:host ~ctrl "server" in
+      let client = Tb.add_proc tb ~on:host ~ctrl "client" in
+      Engine.spawn (fun () ->
+          let rec loop () =
+            ignore (Core.Api.receive server);
+            loop ()
+          in
+          loop ());
+      let svc = ok_exn (Core.Api.request_create server ~tag:"svc" ()) in
+      let svc = Tb.grant ~src:server ~dst:client svc in
+      ok_exn (Core.Api.request_invoke client svc);
+      Format.printf
+        "fractos top: %d invokes at %.0fk req/s offered (snic controller, \
+         queue bound %d)@."
+        requests (rate /. 1e3) config.Net.Config.ctrl_queue_bound;
+      let dash =
+        Obs.Dashboard.start
+          ~interval:(Time.us interval_us)
+          ~out:Format.std_formatter ~slos:[ slo ] ()
+      in
+      let rng = Prng.create ~seed in
+      let ok = ref 0 and err = ref 0 in
+      let s =
+        Loadgen.run_open_loop ~rng ~rate_per_s:rate ~n:requests (fun _ ->
+            let t0 = Engine.now () in
+            let r =
+              F.Retry.run (fun () -> Core.Api.request_invoke client svc)
+            in
+            (match r with Ok () -> incr ok | Error _ -> incr err);
+            Obs.Slo.observe slo
+              ~latency:(Engine.now () - t0)
+              ~ok:(Result.is_ok r))
+      in
+      Obs.Dashboard.stop dash;
+      ignore (Obs.Slo.check slo);
+      Format.printf "@.%d ok, %d failed, p99 %s@." !ok !err
+        (Time.to_string s.Loadgen.p99);
+      Format.printf "@.%a" Obs.Slo.pp_report slo;
+      Obs.Journal.set_enabled false;
+      let drops = Obs.Journal.overflowed () in
+      Format.printf "@.journal: %d events recorded, %d retained, %d dropped@."
+        (Obs.Journal.recorded ()) (Obs.Journal.count ()) drops;
+      List.iter
+        (fun (kind, n) -> Format.printf "  %-24s %d@." kind n)
+        (Obs.Journal.summary ()))
 
 (* ---------------- config ------------------------------------------- *)
 
@@ -489,7 +670,8 @@ let run_t =
     (Cmd.info "run" ~doc:"Run the end-to-end face-verification scenario")
     Term.(
       const run_cmd $ placement $ batch $ requests $ seed $ trace $ trace_json
-      $ metrics $ breakdown $ audit $ openmetrics $ hist_csv)
+      $ metrics $ breakdown $ audit $ openmetrics $ hist_csv $ journal
+      $ journal_cap $ audit_cap $ slo_flag $ top_flag)
 
 let primitives_t =
   Cmd.v
@@ -525,12 +707,53 @@ let chaos_t =
       value & opt int 24
       & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total client requests.")
   in
+  let sample_keep =
+    Arg.(
+      value & opt (some float) None
+      & info [ "sample-keep" ] ~docv:"F"
+          ~doc:"Enable tail-based trace sampling, keeping fraction $(docv) \
+                of healthy traces (errors, sheds and over-threshold traces \
+                are always kept).")
+  in
+  let sample_threshold_us =
+    Arg.(
+      value & opt (some int) None
+      & info [ "sample-threshold-us" ] ~docv:"US"
+          ~doc:"Enable tail-based trace sampling; traces slower than \
+                $(docv) microseconds are always kept (default 1000).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run workloads under a seeded fault plan and check \
              failure-to-revocation invariants (exit 1 on violation)")
     Term.(
-      const chaos_cmd $ seed $ faults $ workload $ clients $ chaos_requests)
+      const chaos_cmd $ seed $ faults $ workload $ clients $ chaos_requests
+      $ journal $ journal_cap $ sample_keep $ sample_threshold_us $ slo_flag
+      $ top_flag)
+
+let top_t =
+  let rate =
+    Arg.(
+      value & opt float 900_000.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Offered open-loop load in requests per second.")
+  in
+  let top_requests =
+    Arg.(
+      value & opt int 2000
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests to offer.")
+  in
+  let interval_us =
+    Arg.(
+      value & opt int 200
+      & info [ "interval-us" ] ~docv:"US"
+          ~doc:"Dashboard refresh interval in simulated microseconds.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard over a saturating invoke workload (goodput, \
+             sheds, backlogs, SLO burn, journal)")
+    Term.(const top_cmd $ rate $ top_requests $ seed $ interval_us)
 
 let config_t =
   Cmd.v
@@ -547,6 +770,6 @@ let main =
   Cmd.group
     (Cmd.info "fractos" ~version:"1.0.0"
        ~doc:"FractOS distributed-OS simulator (EuroSys'22 reproduction)")
-    [ run_t; primitives_t; census_t; chaos_t; config_t; topology_t ]
+    [ run_t; primitives_t; census_t; chaos_t; top_t; config_t; topology_t ]
 
 let () = exit (Cmd.eval main)

@@ -32,6 +32,14 @@ let audit ctrl kind ?pid ?cid ?detail addr =
       ?detail:(match detail with Some f -> Some (f ()) | None -> None)
       ()
 
+(* Flight recorder (see Obs.Journal): discrete incidents — admissions,
+   sheds, credit stalls, cache invalidations, crashes — with the ambient
+   trace id attached. Off by default; when disabled this is one branch
+   and the detail thunk is never evaluated. *)
+let journal ctrl sev kind detail =
+  if Obs.Journal.enabled () then
+    Obs.Journal.record_lazy ~node:(node_name ctrl) ~sev ~kind ~detail ()
+
 (* Charge controller software cost: occupies one of the controller's two
    cores for the class-scaled duration (queueing under load is implicit). *)
 let charge ctrl units =
@@ -151,6 +159,8 @@ let insert_cap ?audit_detail ctrl space addr ~counts ~op =
             | Some _ -> ()
             | None ->
               Obs.Metrics.incr ctrl.cm.cm_ref_inc_timeouts;
+              journal ctrl Obs.Journal.Warn "ctrl.ref_inc_timeout" (fun () ->
+                  Printf.sprintf "peer=%d" addr.a_ctrl);
               Logs.debug (fun m ->
                   m "ref_inc ack from ctrl %d timed out; continuing"
                     addr.a_ctrl))
@@ -183,7 +193,10 @@ let resolve_cid ctrl proc cid =
    it on, memo hits skip their Lookup charge — the class with the largest
    SmartNIC multiplier, which is exactly where the paper's wimpy-core
    controllers hurt. *)
-let memo_invalidate ctrl = ctrl.cap_gen <- ctrl.cap_gen + 1
+let memo_invalidate ctrl =
+  ctrl.cap_gen <- ctrl.cap_gen + 1;
+  journal ctrl Obs.Journal.Debug "ctrl.tcache_invalidate" (fun () ->
+      Printf.sprintf "gen=%d" ctrl.cap_gen)
 
 let resolve_cid_memo ctrl proc cid =
   match space_of ctrl proc with
@@ -617,6 +630,8 @@ let schedule_pending_sweep ctrl copy_id q =
         | Some q' when q' == q ->
           Hashtbl.remove ctrl.copy_pending copy_id;
           Obs.Metrics.incr ctrl.cm.cm_copy_orphans;
+          journal ctrl Obs.Journal.Warn "ctrl.copy_orphan" (fun () ->
+              Printf.sprintf "copy=%d pending" copy_id);
           (* scheduled events run outside any fiber: the refunds and the
              Timeout reply charge cpu time, so hop into a fresh fiber *)
           Sim.Engine.spawn (fun () ->
@@ -636,7 +651,9 @@ let schedule_failure_sweep ctrl copy_id =
     Sim.Engine.schedule timeout (fun () ->
         if Hashtbl.mem ctrl.copy_failures copy_id then begin
           Hashtbl.remove ctrl.copy_failures copy_id;
-          Obs.Metrics.incr ctrl.cm.cm_copy_orphans
+          Obs.Metrics.incr ctrl.cm.cm_copy_orphans;
+          journal ctrl Obs.Journal.Warn "ctrl.copy_orphan" (fun () ->
+              Printf.sprintf "copy=%d failure" copy_id)
         end)
 
 (* Destination side: one writer fiber per copy session, consuming in-order
@@ -880,6 +897,9 @@ let do_copy_chunks_pipelined ctrl ~dst ~dst_ctrl ~(m : mem) ~copy_id
         [ ("off", string_of_int off); ("len", string_of_int len) ])
       "ctrl.copy.chunk"
     @@ fun () ->
+    if Sim.Semaphore.available credits = 0 then
+      journal ctrl Obs.Journal.Debug "ctrl.copy.credit_stall" (fun () ->
+          Printf.sprintf "copy=%d chunk=%d" copy_id i);
     Sim.Semaphore.acquire credits;
     let inflight = window - Sim.Semaphore.available credits in
     if inflight > !max_inflight then max_inflight := inflight;
@@ -1332,6 +1352,7 @@ let handle_syscall ctrl msg =
   | _ ->
     Obs.Metrics.incr ctrl.cm.cm_syscalls;
     Obs.Metrics.set ctrl.cm.cm_sys_backlog (Net.Endpoint.pending ctrl.sys_ep);
+    journal ctrl Obs.Journal.Debug "ctrl.admit" (fun () -> syscall_name msg);
     span ctrl ("ctrl." ^ syscall_name msg) (fun () ->
         dispatch_syscall ctrl msg)
 
@@ -1370,6 +1391,7 @@ let shed_syscall ctrl msg =
   | Sys_credit _ -> false
   | _ ->
     Obs.Metrics.incr ctrl.cm.cm_overloads;
+    journal ctrl Obs.Journal.Warn "ctrl.shed" (fun () -> syscall_name msg);
     fail_syscall Error.Overloaded msg;
     true
 
@@ -1733,10 +1755,14 @@ let fail_process ctrl proc =
     owned
 
 let fail ctrl =
+  journal ctrl Obs.Journal.Error "ctrl.crash" (fun () ->
+      Printf.sprintf "epoch=%d" ctrl.epoch);
   ctrl.running <- false;
   Hashtbl.iter (fun _ p -> p.alive <- false) ctrl.procs
 
 let restart ctrl =
+  journal ctrl Obs.Journal.Info "ctrl.reboot" (fun () ->
+      Printf.sprintf "epoch=%d" (ctrl.epoch + 1));
   ctrl.epoch <- ctrl.epoch + 1;
   Hashtbl.reset ctrl.objects;
   Hashtbl.reset ctrl.capspaces;

@@ -88,6 +88,10 @@ val epoch : t -> int
 val id : t -> int
 (** The controller id stamped into its objects' addresses ([a_ctrl]). *)
 
+val node_name : t -> string
+(** Name of the node this controller runs on — the label its metrics,
+    audit, and journal events carry. *)
+
 val reset_ids : unit -> unit
 (** Reset the module-global controller/copy-session id counters. Only for
     harnesses that run several simulations in one OS process and need the

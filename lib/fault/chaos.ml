@@ -20,6 +20,18 @@ let workload_of_string = function
   | "copy" -> Some Copy
   | _ -> None
 
+type sampling_summary = {
+  s_seen : int;
+  s_healthy : int;
+  s_kept_error : int;
+  s_kept_shed : int;
+  s_kept_slow : int;
+  s_kept_head : int;
+  s_spans_kept : int;
+  s_spans_pruned : int;
+  s_exemplars : int;
+}
+
 type report = {
   r_seed : int;
   r_workload : workload;
@@ -34,6 +46,8 @@ type report = {
   r_audit_events : int;
   r_audit_digest : string;
   r_end_time : Sim.Time.t;
+  r_sampling : sampling_summary option;
+  r_slo : string list option;
 }
 
 let passed r = r.r_violations = []
@@ -63,8 +77,8 @@ let policy =
     p_backoff_cap = Sim.Time.us 800;
   }
 
-let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
-    ~seed () =
+let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
+    ?slo ?(top = false) ~spec ~seed () =
   (* Reset process-global state so chaos runs are independent of whatever
      ran earlier in the same process (in-process determinism). *)
   Core.Controller.reset_ids ();
@@ -75,6 +89,15 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
   Obs.Audit.set_capacity (1 lsl 20);
   Obs.Audit.set_enabled true;
   Retry.reset_counters ();
+  let spans_were_enabled = Obs.Span.enabled () in
+  (match sampling with
+  | Some (threshold, keep) ->
+      (* tail-based retention needs the span trees it decides over *)
+      Obs.Span.set_enabled true;
+      Obs.Sampler.reset ();
+      Obs.Sampler.configure ~threshold ~keep ();
+      Obs.Sampler.set_enabled true
+  | None -> ());
   let clients = max 1 clients in
   let results : (unit, Core.Error.t) result option array =
     Array.make (max 0 requests) None
@@ -83,6 +106,7 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
   let violations = ref [] in
   let viol fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   let plan_lines = ref [] in
+  let slo_lines = ref None in
   let ctrl_summary = ref [] in
   let end_time = ref 0 in
   let is_fs_client k =
@@ -261,20 +285,65 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
          (* Drive the clients. *)
          let master = Sim.Prng.create ~seed:(seed lxor 0x107a05) in
          let rngs = Array.init clients (fun _ -> Sim.Prng.split master) in
+         let dash =
+           if not top then None
+           else
+             Some
+               (Obs.Dashboard.start ~interval:(Sim.Time.us 200)
+                  ?slos:(Option.map (fun s -> [ s ]) slo) ())
+         in
+         let req_hist = Obs.Metrics.histogram ~node:"" "chaos.request" in
+         let one_request k i =
+           let dispatch () =
+             match workload with
+             | Copy -> do_copy k i
+             | Faceverify | Fs | Mixed ->
+                 if is_fs_client k then do_fs k rngs.(k) i
+                 else do_fv rngs.(k) i
+           in
+           if sampling = None && slo = None then dispatch ()
+           else begin
+             (* one root span per request so the sampler has a trace id to
+                retain and the journal/SLO events correlate to it *)
+             let t_start = Sim.Engine.now () in
+             let root =
+               Obs.Span.start ~parent:0 ~name:"chaos.request"
+                 ~attrs:[ ("idx", string_of_int i) ]
+                 ()
+             in
+             let saved = Sim.Engine.get_ctx () in
+             Sim.Engine.set_ctx root;
+             let r =
+               Fun.protect
+                 ~finally:(fun () ->
+                   Sim.Engine.set_ctx saved;
+                   Obs.Span.finish root)
+                 dispatch
+             in
+             let latency = Sim.Engine.now () - t_start in
+             let ok = match r with Ok () -> true | Error _ -> false in
+             Obs.Metrics.observe req_hist latency;
+             (if sampling <> None then
+                let outcome =
+                  match r with
+                  | Ok () -> Obs.Sampler.Ok_
+                  | Error Core.Error.Overloaded -> Obs.Sampler.Shed
+                  | Error e -> Obs.Sampler.Err (Core.Error.to_string e)
+                in
+                ignore
+                  (Obs.Sampler.observe ~trace:root ~latency ~outcome
+                     ~hist:"chaos.request" ()));
+             Option.iter (fun s -> Obs.Slo.observe s ~latency ~ok) slo;
+             r
+           end
+         in
          let wg = Sim.Waitgroup.create () in
          for k = 0 to clients - 1 do
            Sim.Waitgroup.spawn wg (fun () ->
                let idx = ref k in
                while !idx < requests do
                  let i = !idx in
-                 let r =
-                   match workload with
-                   | Copy -> do_copy k i
-                   | Faceverify | Fs | Mixed ->
-                       if is_fs_client k then do_fs k rngs.(k) i
-                       else do_fv rngs.(k) i
-                 in
-                 results.(i) <- Some r;
+                 results.(i) <- Some (one_request k i);
                  idx := i + clients
                done)
          done;
@@ -282,6 +351,16 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
          (* Quiesce: stop injecting, let late reboots/cleanups land. *)
          Inject.disable tb.Tb.fabric;
          Sim.Engine.sleep (spec.Spec.s_horizon + Sim.Time.ms 2);
+         (match slo with
+         | Some s ->
+             ignore (Obs.Slo.check s);
+             (* render inside the engine: the report needs Engine.now *)
+             slo_lines :=
+               Some
+                 (String.split_on_char '\n'
+                    (String.trim (Format.asprintf "%a" Obs.Slo.pp_report s)))
+         | None -> ());
+         Option.iter Obs.Dashboard.stop dash;
          let inv =
            Invariants.check ~ctrls:tb.Tb.ctrls ~plan:pl ~install_time:t0 ()
          in
@@ -332,6 +411,26 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
     Digest.to_hex (Digest.string (Buffer.contents buf))
   in
   Obs.Audit.set_enabled false;
+  let sampling_summary =
+    match sampling with
+    | None -> None
+    | Some _ ->
+        let pruned = Obs.Sampler.prune_spans () in
+        Obs.Sampler.set_enabled false;
+        Obs.Span.set_enabled spans_were_enabled;
+        Some
+          {
+            s_seen = Obs.Sampler.seen ();
+            s_healthy = Obs.Sampler.healthy_seen ();
+            s_kept_error = Obs.Sampler.kept_by Obs.Sampler.Kept_error;
+            s_kept_shed = Obs.Sampler.kept_by Obs.Sampler.Kept_shed;
+            s_kept_slow = Obs.Sampler.kept_by Obs.Sampler.Kept_slow;
+            s_kept_head = Obs.Sampler.kept_by Obs.Sampler.Kept_head;
+            s_spans_kept = Obs.Span.count ();
+            s_spans_pruned = pruned;
+            s_exemplars = List.length (Obs.Sampler.exemplars ());
+          }
+  in
   {
     r_seed = seed;
     r_workload = workload;
@@ -346,6 +445,8 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ~spec
     r_audit_events = Obs.Audit.count ();
     r_audit_digest = audit_digest;
     r_end_time = !end_time;
+    r_sampling = sampling_summary;
+    r_slo = !slo_lines;
   }
 
 let to_lines r =
@@ -375,6 +476,19 @@ let to_lines r =
         r.r_audit_digest;
       Printf.sprintf "settled at t=%s" (Sim.Time.to_string r.r_end_time);
     ]
+  @ (match r.r_sampling with
+    | None -> []
+    | Some s ->
+        [
+          Printf.sprintf
+            "sampling: seen=%d healthy=%d kept error=%d shed=%d slow=%d \
+             head=%d spans kept=%d pruned=%d exemplars=%d"
+            s.s_seen s.s_healthy s.s_kept_error s.s_kept_shed s.s_kept_slow
+            s.s_kept_head s.s_spans_kept s.s_spans_pruned s.s_exemplars;
+        ])
+  @ (match r.r_slo with
+    | None -> []
+    | Some lines -> List.map (fun l -> if l = "" then l else "slo| " ^ l) lines)
   @
   if r.r_violations = [] then [ "result: OK" ]
   else

@@ -27,6 +27,18 @@ type workload =
 val workload_to_string : workload -> string
 val workload_of_string : string -> workload option
 
+type sampling_summary = {
+  s_seen : int;  (** requests the sampler decided over *)
+  s_healthy : int;  (** Ok and under the latency threshold *)
+  s_kept_error : int;
+  s_kept_shed : int;
+  s_kept_slow : int;
+  s_kept_head : int;  (** healthy traces kept by the rate accumulator *)
+  s_spans_kept : int;  (** spans surviving the retention prune *)
+  s_spans_pruned : int;
+  s_exemplars : int;  (** histogram buckets with a trace-id exemplar *)
+}
+
 type report = {
   r_seed : int;
   r_workload : workload;
@@ -42,6 +54,10 @@ type report = {
   r_audit_events : int;
   r_audit_digest : string;  (** MD5 over the rendered audit log *)
   r_end_time : Sim.Time.t;  (** simulated instant the run settled *)
+  r_sampling : sampling_summary option;
+      (** present iff [run] was given [~sampling] *)
+  r_slo : string list option;
+      (** rendered {!Obs.Slo.pp_report} lines, present iff [~slo] *)
 }
 
 val run :
@@ -49,6 +65,9 @@ val run :
   ?requests:int ->
   ?workload:workload ->
   ?config:Net.Config.t ->
+  ?sampling:Sim.Time.t * float ->
+  ?slo:Obs.Slo.t ->
+  ?top:bool ->
   spec:Spec.t ->
   seed:int ->
   unit ->
@@ -58,7 +77,17 @@ val run :
     particular [copy_window]/[copy_streams], so the {!Copy} workload can
     chaos-test the pipelined engine. Never raises on injected faults: a
     fiber deadlock or an escaped typed error is folded into
-    [r_violations]. *)
+    [r_violations].
+
+    [sampling:(threshold, keep)] enables tail-based trace retention: each
+    request runs under a fresh root span, its completion is fed to
+    {!Obs.Sampler.observe} (latency into the ["chaos.request"] histogram,
+    for exemplars), and unretained span trees are pruned before the
+    report is built. Every errored/shed/over-threshold trace survives; at
+    most [ceil (keep * healthy)] healthy ones do, deterministically per
+    seed. [slo] feeds every request into the given tracker (checked once
+    at quiescence). [top] renders an {!Obs.Dashboard} every 200us of
+    simulated time while the run progresses. *)
 
 val passed : report -> bool
 (** [r.r_violations = []]. *)

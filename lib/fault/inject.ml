@@ -1,3 +1,10 @@
+(* Injected faults land in the flight recorder at the instant they fire,
+   so a journal dump interleaves causes (fault.crash, fault.partition)
+   with their symptoms (ctrl.shed, net.drop, retry) in time order. *)
+let journal ~node ~sev ~kind detail =
+  if Obs.Journal.enabled () then
+    Obs.Journal.record_lazy ~node ~sev ~kind ~detail ()
+
 let install plan ~fabric ~ctrls =
   let t0 = Sim.Engine.now () in
   let spec = plan.Plan.pl_spec in
@@ -11,16 +18,34 @@ let install plan ~fabric ~ctrls =
       | Plan.Crash { at; ctrl } when ctrl < Array.length ctrl_arr ->
           let c = ctrl_arr.(ctrl) in
           Sim.Engine.schedule at (fun () ->
-              if Core.Controller.is_running c then Core.Controller.fail c)
+              if Core.Controller.is_running c then begin
+                journal
+                  ~node:(Core.Controller.node_name c)
+                  ~sev:Obs.Journal.Error ~kind:"fault.crash" (fun () ->
+                    Printf.sprintf "ctrl=%d" ctrl);
+                Core.Controller.fail c
+              end)
       | Plan.Reboot { at; ctrl } when ctrl < Array.length ctrl_arr ->
           let c = ctrl_arr.(ctrl) in
           Sim.Engine.schedule at (fun () ->
-              if not (Core.Controller.is_running c) then
-                Core.Controller.restart c)
+              if not (Core.Controller.is_running c) then begin
+                journal
+                  ~node:(Core.Controller.node_name c)
+                  ~sev:Obs.Journal.Info ~kind:"fault.reboot" (fun () ->
+                    Printf.sprintf "ctrl=%d" ctrl);
+                Core.Controller.restart c
+              end)
       | Plan.Stall { at; until; node } when node < n_nodes ->
           let n = node_arr.(node) in
           let start = t0 + at and duration = until - at in
           if duration > 0 then begin
+            (* extra events extend the engine's tail, so only schedule
+               journal markers when the recorder is actually on *)
+            if Obs.Journal.enabled () then
+              Sim.Engine.schedule at (fun () ->
+                  journal ~node:n.Net.Node.name ~sev:Obs.Journal.Warn
+                    ~kind:"fault.stall" (fun () ->
+                      Printf.sprintf "until=%s" (Sim.Time.to_string until)));
             ignore (Sim.Resource.reserve_at n.Net.Node.tx ~start ~duration);
             ignore (Sim.Resource.reserve_at n.Net.Node.rx ~start ~duration);
             ignore (Sim.Resource.reserve_at n.Net.Node.dma ~start ~duration)
@@ -44,6 +69,24 @@ let install plan ~fabric ~ctrls =
         | _ -> None)
       plan.Plan.pl_events
   in
+  if Obs.Journal.enabled () then
+    List.iter
+      (fun (from_, until, inside) ->
+        let island =
+          Array.to_seqi inside
+          |> Seq.filter_map (fun (i, inx) ->
+                 if inx then Some (string_of_int i) else None)
+          |> List.of_seq |> String.concat ","
+        in
+        Sim.Engine.schedule (from_ - t0) (fun () ->
+            journal ~node:"" ~sev:Obs.Journal.Warn ~kind:"fault.partition"
+              (fun () ->
+                Printf.sprintf "island={%s} until=%s" island
+                  (Sim.Time.to_string (until - t0))));
+        Sim.Engine.schedule (until - t0) (fun () ->
+            journal ~node:"" ~sev:Obs.Journal.Info ~kind:"fault.heal"
+              (fun () -> Printf.sprintf "island={%s}" island)))
+      partitions;
   let lossy = Array.make_matrix n_nodes n_nodes false in
   List.iter
     (fun (a, b) ->

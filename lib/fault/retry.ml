@@ -53,6 +53,12 @@ let run ?(policy = default) ?(retryable = default_retryable)
     | Ok _ -> r
     | Error e when attempt < attempts && retryable e ->
         on_retry ~attempt e;
+        (if Obs.Journal.enabled () then
+           Obs.Journal.record_lazy ~node:"" ~sev:Obs.Journal.Info ~kind:"retry"
+             ~detail:(fun () ->
+               Printf.sprintf "attempt=%d err=%s" attempt
+                 (Core.Error.to_string e))
+             ());
         refresh e;
         incr retry_count;
         Sim.Engine.sleep (backoff policy ~attempt);

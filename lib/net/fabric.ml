@@ -78,6 +78,25 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
   | Drop -> Obs.Metrics.incr src.Node.ins.Node.i_fault_drops
   | Duplicate -> Obs.Metrics.incr src.Node.ins.Node.i_fault_dups
   | Delay _ -> Obs.Metrics.incr src.Node.ins.Node.i_fault_delays);
+  (* journal the fault as seen on the wire (post-downgrade), attributed
+     to the sending node so the flight recorder shows where loss hit *)
+  (if fault <> Pass && Obs.Journal.enabled () then
+     let kind =
+       match fault with
+       | Drop -> "net.drop"
+       | Duplicate -> "net.dup"
+       | Delay _ -> "net.delay"
+       | Pass -> assert false
+     in
+     Obs.Journal.record_lazy ~node:src.Node.name ~sev:Obs.Journal.Warn ~kind
+       ~detail:(fun () ->
+         Printf.sprintf "dst=%s cls=%s size=%d%s" dst.Node.name
+           (match cls with Stats.Control -> "control" | Stats.Data -> "data")
+           size
+           (match fault with
+           | Delay d -> " delay=" ^ Sim.Time.to_string d
+           | _ -> ""))
+       ());
   let trace_event kind =
     {
       Trace.ev_time = Sim.Engine.now ();

@@ -1,0 +1,109 @@
+(* Live text dashboard over the metrics registry.
+
+   Strictly read-only: the render fiber sums counters and gauges across
+   nodes, diffs against the previous tick, and prints one line. It must
+   never touch simulation state — no sends, no resource use, no PRNG —
+   so that running with the dashboard on is bit-identical to running
+   with it off (modulo the engine finishing up to one interval later on
+   an already-idle event queue). *)
+
+type t = {
+  interval : Sim.Time.t;
+  out : Format.formatter;
+  slos : Slo.t list;
+  mutable stopped : bool;
+  mutable last_counters : (string, int) Hashtbl.t;
+  mutable last_time : Sim.Time.t;
+  mutable n_ticks : int;
+}
+
+(* Sum a snapshot into name -> total-across-nodes. *)
+let counter_sums () =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (_node, name, v) ->
+      Hashtbl.replace tbl name (v + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+    (Metrics.counters_list ());
+  tbl
+
+let gauge_sum name =
+  List.fold_left
+    (fun acc (_node, n, v, _peak) -> if n = name then acc + v else acc)
+    0 (Metrics.gauges_list ())
+
+let get tbl name = Option.value ~default:0 (Hashtbl.find_opt tbl name)
+
+(* Rate of a counter since the previous tick, in events per simulated
+   second. *)
+let rate t now cur name =
+  let dt = now - t.last_time in
+  if dt <= 0 then 0.0
+  else
+    float_of_int (get cur name - get t.last_counters name)
+    *. 1e9
+    /. float_of_int dt
+
+let human v =
+  if v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.1f" v
+
+let render t =
+  let now = Sim.Engine.now () in
+  let cur = counter_sums () in
+  let worst_burn =
+    List.fold_left (fun acc slo -> Float.max acc (Slo.check slo)) 0.0 t.slos
+  in
+  Format.fprintf t.out
+    "[top] t=%-9s good=%s/s shed=%s/s copy=%sB/s backlog sys=%d peer=%d \
+     inflight=%d%s%s@."
+    (Sim.Time.to_string now)
+    (human (rate t now cur "ctrl.requests_delivered"))
+    (human (rate t now cur "ctrl.overloads"))
+    (human (rate t now cur "ctrl.copy_bytes"))
+    (gauge_sum "ctrl.sys_backlog")
+    (gauge_sum "ctrl.peer_backlog")
+    (gauge_sum "ctrl.copy_inflight")
+    (if t.slos = [] then ""
+     else
+       Printf.sprintf " slo_burn=%s"
+         (if worst_burn = infinity then "inf"
+          else Printf.sprintf "%.2f" worst_burn))
+    (let d = Journal.overflowed () in
+     if d = 0 then "" else Printf.sprintf " journal_drop=%d" d);
+  t.last_counters <- cur;
+  t.last_time <- now;
+  t.n_ticks <- t.n_ticks + 1
+
+let start ?(interval = 1_000_000) ?(out = Format.err_formatter) ?(slos = [])
+    () =
+  let t =
+    {
+      interval = max 1 interval;
+      out;
+      slos;
+      stopped = false;
+      last_counters = counter_sums ();
+      last_time = Sim.Engine.now ();
+      n_ticks = 0;
+    }
+  in
+  Sim.Engine.spawn (fun () ->
+      let rec loop () =
+        Sim.Engine.sleep t.interval;
+        if not t.stopped then begin
+          render t;
+          loop ()
+        end
+      in
+      loop ());
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    render t
+  end
+
+let ticks t = t.n_ticks

@@ -1,0 +1,34 @@
+(** Periodic live text dashboard rendered from the metrics registry.
+
+    [fractos top] (and [--top] under run/bench/chaos): a fiber wakes
+    every [interval] of simulated time and prints one line of
+    fleet-level signal — goodput, shed rate, copy bandwidth, syscall and
+    peer backlogs, copy inflight, worst SLO burn, journal drops —
+    computed from counter deltas and gauge sums across all nodes.
+
+    The dashboard only reads: it performs no sends, holds no resources,
+    and draws no randomness, so enabling it cannot perturb workload
+    behaviour (its pending sleep extends the engine's end time by at
+    most one interval after {!stop}, which costs nothing in simulated
+    metrics). Rendering goes to [out] (default stderr) in wall-clock
+    terms, i.e. immediately as the simulation passes each tick. *)
+
+type t
+
+val start :
+  ?interval:Sim.Time.t ->
+  ?out:Format.formatter ->
+  ?slos:Slo.t list ->
+  unit ->
+  t
+(** Spawn the dashboard fiber (must run inside an engine). [interval]
+    defaults to 1ms of simulated time. Each tick also runs {!Slo.check}
+    on every tracker in [slos], so burn gauges and burn-transition
+    journal events stay fresh while the workload runs. *)
+
+val stop : t -> unit
+(** Render one final frame and stop; the fiber exits at its next wakeup.
+    Must run inside the engine. Idempotent. *)
+
+val ticks : t -> int
+(** Frames rendered so far. *)

@@ -1,0 +1,130 @@
+(* Flight recorder: bounded ring of structured runtime events.
+
+   The journal is the "what just happened" half of the observability
+   stack: spans show a request's shape, metrics show aggregates, the
+   journal keeps the last N discrete incidents (sheds, stalls,
+   invalidations, faults) with enough context — time, node, severity,
+   trace id — to correlate the three. Overflow is never silent: drops
+   are counted overall and per severity so a post-mortem dump states how
+   much history is missing. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type event = {
+  j_seq : int;
+  j_time : Sim.Time.t;
+  j_node : string;
+  j_sev : severity;
+  j_kind : string;
+  j_detail : string;
+  j_trace : int;
+}
+
+let enabled_flag = ref false
+let cap = ref 16_384
+let min_sev = ref Debug
+let ring : event Queue.t = Queue.create ()
+let seq = ref 0
+let n_overflowed = ref 0
+let overflow_by_sev = Array.make 4 0
+let n_suppressed = ref 0
+let by_kind : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let capacity () = !cap
+
+let drop_oldest () =
+  let ev = Queue.pop ring in
+  incr n_overflowed;
+  let r = severity_rank ev.j_sev in
+  overflow_by_sev.(r) <- overflow_by_sev.(r) + 1
+
+let set_capacity n =
+  cap := max 1 n;
+  while Queue.length ring > !cap do
+    drop_oldest ()
+  done
+
+let set_min_severity s = min_sev := s
+let min_severity () = !min_sev
+
+let reset () =
+  Queue.clear ring;
+  seq := 0;
+  n_overflowed := 0;
+  Array.fill overflow_by_sev 0 4 0;
+  n_suppressed := 0;
+  Hashtbl.reset by_kind
+
+let record_lazy ~node ~sev ~kind ~detail () =
+  if !enabled_flag then
+    if severity_rank sev < severity_rank !min_sev then incr n_suppressed
+    else begin
+      let ev =
+        {
+          j_seq = !seq;
+          j_time = Sim.Engine.now ();
+          j_node = node;
+          j_sev = sev;
+          j_kind = kind;
+          j_detail = detail ();
+          j_trace = Sim.Engine.get_ctx ();
+        }
+      in
+      incr seq;
+      Hashtbl.replace by_kind kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind kind));
+      if Queue.length ring >= !cap then drop_oldest ();
+      Queue.add ev ring
+    end
+
+let record ~node ~sev ~kind ?(detail = "") () =
+  record_lazy ~node ~sev ~kind ~detail:(fun () -> detail) ()
+
+let events () = List.of_seq (Queue.to_seq ring)
+let count () = Queue.length ring
+let recorded () = !seq
+let overflowed () = !n_overflowed
+let overflowed_by_severity s = overflow_by_sev.(severity_rank s)
+let suppressed () = !n_suppressed
+
+let summary () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+  |> List.sort compare
+
+let pp_event fmt ev =
+  Format.fprintf fmt "%-8s %-5s %-10s %-24s%s%s"
+    (Sim.Time.to_string ev.j_time)
+    (severity_name ev.j_sev)
+    (if ev.j_node = "" then "-" else ev.j_node)
+    ev.j_kind
+    (if ev.j_trace = 0 then "" else Printf.sprintf " trace=%d" ev.j_trace)
+    (if ev.j_detail = "" then "" else " " ^ ev.j_detail)
+
+let dump fmt () =
+  Format.fprintf fmt "journal: %d retained / %d recorded" (count ())
+    (recorded ());
+  if !n_overflowed > 0 then
+    Format.fprintf fmt " (%d overflowed: %d warn, %d error)" !n_overflowed
+      (overflowed_by_severity Warn)
+      (overflowed_by_severity Error);
+  if !n_suppressed > 0 then
+    Format.fprintf fmt " (%d below min severity)" !n_suppressed;
+  Format.fprintf fmt "@.";
+  Queue.iter (fun ev -> Format.fprintf fmt "  %a@." pp_event ev) ring

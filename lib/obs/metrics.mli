@@ -32,6 +32,14 @@ val gauge_max : gauge -> int
 val observe : histogram -> int -> unit
 (** Record one value into ~19 %-resolution log buckets (4 per octave). *)
 
+val bucket_of : int -> int
+(** Bucket index a value lands in — the key {!Sampler} exemplars use to
+    link a histogram bucket to a retained trace. *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of bucket [k] (the [le] label in OpenMetrics
+    output). *)
+
 val observations : histogram -> int
 val hist_max : histogram -> int
 val hist_sum : histogram -> float

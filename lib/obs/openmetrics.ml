@@ -19,6 +19,27 @@ let sanitize name =
 
 let metric name = "fractos_" ^ sanitize name
 
+(* Label values, unlike metric names, may contain anything (node names
+   are free-form strings); the OpenMetrics exposition format requires
+   backslash, double-quote, and line-feed escaped inside quoted label
+   values. Everything else passes through untouched. *)
+let escape_label s =
+  if
+    String.for_all (fun c -> c <> '\\' && c <> '"' && c <> '\n') s
+  then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
 (* Group a (node, name, v) list — already sorted by (node, name) — into
    per-name families, each with its series sorted by node. *)
 let families rows =
@@ -44,7 +65,7 @@ let to_buffer b =
     (fun (name, series) ->
       let m = metric name in
       pr "# TYPE %s counter\n" m;
-      List.iter (fun (node, v) -> pr "%s_total{node=\"%s\"} %d\n" m node v)
+      List.iter (fun (node, v) -> pr "%s_total{node=\"%s\"} %d\n" m (escape_label node) v)
         series)
     (families (Metrics.counters_list ()));
   let gauges = Metrics.gauges_list () in
@@ -52,13 +73,13 @@ let to_buffer b =
     (fun (name, series) ->
       let m = metric name in
       pr "# TYPE %s gauge\n" m;
-      List.iter (fun (node, v) -> pr "%s{node=\"%s\"} %d\n" m node v) series)
+      List.iter (fun (node, v) -> pr "%s{node=\"%s\"} %d\n" m (escape_label node) v) series)
     (families (List.map (fun (node, name, v, _) -> (node, name, v)) gauges));
   List.iter
     (fun (name, series) ->
       let m = metric name in
       pr "# TYPE %s gauge\n" m;
-      List.iter (fun (node, v) -> pr "%s{node=\"%s\"} %d\n" m node v) series)
+      List.iter (fun (node, v) -> pr "%s{node=\"%s\"} %d\n" m (escape_label node) v) series)
     (families
        (List.map (fun (node, name, _, peak) -> (node, name ^ "_peak", peak))
           gauges));
@@ -72,12 +93,12 @@ let to_buffer b =
           List.iter
             (fun (upper, n) ->
               cum := !cum + n;
-              pr "%s_bucket{node=\"%s\",le=\"%s\"} %d\n" m node
+              pr "%s_bucket{node=\"%s\",le=\"%s\"} %d\n" m (escape_label node)
                 (float_str upper) !cum)
             hs.Metrics.hs_buckets;
-          pr "%s_bucket{node=\"%s\",le=\"+Inf\"} %d\n" m node hs.Metrics.hs_count;
-          pr "%s_sum{node=\"%s\"} %s\n" m node (float_str hs.Metrics.hs_sum);
-          pr "%s_count{node=\"%s\"} %d\n" m node hs.Metrics.hs_count)
+          pr "%s_bucket{node=\"%s\",le=\"+Inf\"} %d\n" m (escape_label node) hs.Metrics.hs_count;
+          pr "%s_sum{node=\"%s\"} %s\n" m (escape_label node) (float_str hs.Metrics.hs_sum);
+          pr "%s_count{node=\"%s\"} %d\n" m (escape_label node) hs.Metrics.hs_count)
         series)
     (families (Metrics.histograms_list ()));
   pr "# EOF\n"

@@ -16,6 +16,11 @@ val sanitize : string -> string
 val metric : string -> string
 (** ["fractos_" ^ sanitize name]. *)
 
+val escape_label : string -> string
+(** Escape a label {e value} per the OpenMetrics exposition format:
+    backslash, double-quote, and newline become two-character escape
+    sequences. Applied to every node label the exporters emit. *)
+
 val to_string : unit -> string
 val write : string -> unit
 

@@ -1,0 +1,127 @@
+(* Tail-based trace retention.
+
+   The retention rule is the whole point: interesting traces (errors,
+   sheds, tail latencies) are kept with probability 1, healthy traces at
+   a configured rate. Head sampling uses a deterministic credit
+   accumulator rather than a PRNG draw: each healthy observation adds
+   [keep] credit and a trace is kept when the accumulator reaches 1.
+   That gives two properties a coin flip cannot: the number of kept
+   healthy traces never exceeds ceil(keep * healthy_seen), and the kept
+   set is a pure function of the observation sequence — in a
+   deterministic simulation, of the seed. *)
+
+type outcome = Ok_ | Err of string | Shed
+type reason = Kept_error | Kept_shed | Kept_slow | Kept_head
+
+let reason_name = function
+  | Kept_error -> "error"
+  | Kept_shed -> "shed"
+  | Kept_slow -> "slow"
+  | Kept_head -> "head"
+
+let enabled_flag = ref false
+let threshold_ns = ref 1_000_000 (* 1ms *)
+let keep_frac = ref 0.01
+let acc = ref 0.0
+
+let retained_tbl : (Span.id, reason) Hashtbl.t = Hashtbl.create 256
+let retained_order : (Span.id * reason) Queue.t = Queue.create ()
+let exemplar_tbl : (string * int, Span.id) Hashtbl.t = Hashtbl.create 64
+let n_seen = ref 0
+let n_healthy = ref 0
+let kept_counts = Array.make 4 0
+
+let reason_rank = function
+  | Kept_error -> 0
+  | Kept_shed -> 1
+  | Kept_slow -> 2
+  | Kept_head -> 3
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let configure ?threshold ?keep () =
+  Option.iter (fun t -> threshold_ns := max 0 t) threshold;
+  Option.iter (fun k -> keep_frac := Float.min 1.0 (Float.max 0.0 k)) keep
+
+let threshold () = !threshold_ns
+let keep_fraction () = !keep_frac
+
+let reset () =
+  acc := 0.0;
+  Hashtbl.reset retained_tbl;
+  Queue.clear retained_order;
+  Hashtbl.reset exemplar_tbl;
+  n_seen := 0;
+  n_healthy := 0;
+  Array.fill kept_counts 0 4 0
+
+let classify ~latency ~outcome =
+  match outcome with
+  | Err _ -> Some Kept_error
+  | Shed -> Some Kept_shed
+  | Ok_ ->
+    if latency >= !threshold_ns then Some Kept_slow
+    else begin
+      (* healthy: deterministic rate accumulator *)
+      incr n_healthy;
+      acc := !acc +. !keep_frac;
+      if !acc >= 1.0 then begin
+        acc := !acc -. 1.0;
+        Some Kept_head
+      end
+      else None
+    end
+
+let observe ~trace ~latency ~outcome ?hist () =
+  if not !enabled_flag then false
+  else begin
+    incr n_seen;
+    match classify ~latency ~outcome with
+    | None -> false
+    | Some reason ->
+      kept_counts.(reason_rank reason) <- kept_counts.(reason_rank reason) + 1;
+      if trace = 0 then false
+      else begin
+        if not (Hashtbl.mem retained_tbl trace) then begin
+          Hashtbl.add retained_tbl trace reason;
+          Queue.add (trace, reason) retained_order
+        end;
+        Option.iter
+          (fun h ->
+            let key = (h, Metrics.bucket_of latency) in
+            if not (Hashtbl.mem exemplar_tbl key) then
+              Hashtbl.add exemplar_tbl key trace)
+          hist;
+        true
+      end
+  end
+
+let retained () = List.of_seq (Queue.to_seq retained_order)
+let is_retained id = Hashtbl.mem retained_tbl id
+let retained_reason id = Hashtbl.find_opt retained_tbl id
+
+let exemplars () =
+  Hashtbl.fold
+    (fun (h, k) trace acc -> (h, k, Metrics.bucket_upper k, trace) :: acc)
+    exemplar_tbl []
+  |> List.sort compare
+
+let exemplar ~hist ~bucket = Hashtbl.find_opt exemplar_tbl (hist, bucket)
+let seen () = !n_seen
+let kept () = Array.fold_left ( + ) 0 kept_counts
+let kept_by r = kept_counts.(reason_rank r)
+let healthy_seen () = !n_healthy
+
+let prune_spans () =
+  Span.prune (fun sp -> Hashtbl.mem retained_tbl (Span.root_of sp.Span.sp_id))
+
+let pp_summary fmt () =
+  Format.fprintf fmt
+    "sampler: seen=%d kept=%d (error=%d shed=%d slow=%d head=%d of %d \
+     healthy) threshold=%s keep=%.3f exemplars=%d"
+    !n_seen (kept ()) (kept_by Kept_error) (kept_by Kept_shed)
+    (kept_by Kept_slow) (kept_by Kept_head) !n_healthy
+    (Sim.Time.to_string !threshold_ns)
+    !keep_frac
+    (Hashtbl.length exemplar_tbl)

@@ -108,6 +108,26 @@ let count () = Queue.length collected
 let dropped () = !n_dropped
 let find = Hashtbl.find_opt index
 
+let rec root_of id =
+  match Hashtbl.find_opt index id with
+  | Some sp when sp.sp_parent <> 0 -> root_of sp.sp_parent
+  | _ -> id
+
+let prune keep =
+  let kept = Queue.create () in
+  let removed = ref 0 in
+  Queue.iter
+    (fun sp ->
+      if keep sp then Queue.add sp kept
+      else begin
+        Hashtbl.remove index sp.sp_id;
+        incr removed
+      end)
+    collected;
+  Queue.clear collected;
+  Queue.transfer kept collected;
+  !removed
+
 let pp_span fmt sp =
   Format.fprintf fmt "[%d<-%d] %-10s %-24s %s +%s%s" sp.sp_id sp.sp_parent
     (if sp.sp_node = "" then "-" else sp.sp_node)

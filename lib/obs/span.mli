@@ -87,4 +87,14 @@ val count : unit -> int
 val dropped : unit -> int
 val find : id -> t option
 
+val root_of : id -> id
+(** Follow parent links to the trace root. Ids not in the collector (or
+    already roots) map to themselves. *)
+
+val prune : (t -> bool) -> int
+(** [prune keep] discards every collected span for which [keep] is false
+    (they disappear from {!all} and {!find}) and returns the number
+    removed. The basis of tail-based retention: {!Sampler.prune_spans}
+    keeps only spans whose trace root was retained. *)
+
 val pp_span : Format.formatter -> t -> unit
