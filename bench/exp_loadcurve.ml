@@ -155,12 +155,14 @@ let saturation_point ~fast ~rate ~n =
       let rng = Prng.create ~seed:11 in
       let ok = ref 0 and err = ref 0 in
       let s =
-        Loadgen.run_open_loop ~rng ~rate_per_s:rate ~n (fun _ ->
-            match Retry.run (fun () -> Api.request_invoke client svc) with
-            | Ok () -> incr ok
-            | Error _ -> incr err)
+        Fun.protect
+          ~finally:(fun () -> Option.iter Fractos_obs.Dashboard.stop dash)
+          (fun () ->
+            Loadgen.run_open_loop ~rng ~rate_per_s:rate ~n (fun _ ->
+                match Retry.run (fun () -> Api.request_invoke client svc) with
+                | Ok () -> incr ok
+                | Error _ -> incr err))
       in
-      Option.iter Fractos_obs.Dashboard.stop dash;
       let elapsed_s = Time.to_us_f s.Loadgen.elapsed /. 1e6 in
       {
         pt_offered = rate;

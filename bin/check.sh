@@ -27,4 +27,6 @@ sh bin/bench_smoke.sh _build/default/bench/main.exe
 
 sh bin/obs_smoke.sh _build/default/bin/fractos.exe _build/default/bench/main.exe
 
+sh bin/bench_gate.sh _build/default/bin/fractos.exe _build/default/bench/main.exe
+
 echo "== OK"

@@ -141,11 +141,29 @@ let top_flag =
         ~doc:"Render a periodic live dashboard (goodput, sheds, backlogs, \
               SLO burn) to stderr while the run progresses.")
 
+let artifacts_dir =
+  Arg.(
+    value & opt (some string) None
+    & info [ "artifacts" ] ~docv:"DIR"
+        ~doc:"Save the run's observability artifacts (metrics exposition, \
+              histogram CSV, span/breakdown CSVs, journal digest, rendered \
+              timeline) into $(docv) for later $(b,fractos analyze) / \
+              $(b,fractos diff).")
+
+let placement_name = function
+  | Tb.Ctrl_cpu -> "cpu"
+  | Tb.Ctrl_snic -> "snic"
+  | Tb.Ctrl_shared -> "shared"
+
 (* ---------------- run ---------------------------------------------- *)
 
 let run_cmd placement batch requests seed trace trace_json metrics breakdown
-    audit openmetrics hist_csv journal journal_cap audit_cap slo top =
+    audit openmetrics hist_csv journal journal_cap audit_cap slo top artifacts
+    =
   let img_size = 4096 and n_images = 4096 in
+  (* artifact capture needs the journal recording even when the user did
+     not ask for the post-mortem dump *)
+  let journal_on = journal || artifacts <> None in
   Obs.Metrics.reset ();
   if audit then begin
     (* from the very start: the lineage of a capability begins with mint
@@ -154,7 +172,7 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
     Obs.Audit.set_capacity (Option.value ~default:(1 lsl 20) audit_cap);
     Obs.Audit.set_enabled true
   end;
-  if journal then begin
+  if journal_on then begin
     Obs.Journal.reset ();
     Obs.Journal.set_capacity journal_cap;
     Obs.Journal.set_enabled true
@@ -178,7 +196,7 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
         requests batch;
       Net.Stats.reset (Cluster.stats c);
       (* trace the request phase only: setup (db population) would dwarf it *)
-      if trace_json <> None || breakdown then begin
+      if trace_json <> None || breakdown || artifacts <> None then begin
         Obs.Span.reset ();
         Obs.Span.set_enabled true
       end;
@@ -199,30 +217,35 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
                ?slos:(Option.map (fun s -> [ s ]) slo_t)
                ())
       in
-      for r = 1 to requests do
-        let start_id = Prng.int rng (n_images - batch) in
-        let probes =
-          Facedata.probe_batch ~img_size ~start_id ~batch ~impostor_every:5
-        in
-        let t0 = Engine.now () in
-        let flags =
-          Obs.Span.with_ ~node:"app" ~name:"request"
-            ~attrs:[ ("id", string_of_int r) ]
-            (fun () -> ok_exn (Faceverify.verify fv ~start_id ~batch ~probes))
-        in
-        let latency = Engine.now () - t0 in
-        Option.iter (fun s -> Obs.Slo.observe s ~latency ~ok:true) slo_t;
-        let matches =
-          Bytes.fold_left
-            (fun acc c -> if c = '\001' then acc + 1 else acc)
-            0 flags
-        in
-        Format.printf "  request %2d: ids %5d..%5d  %2d/%2d genuine  %s@." r
-          start_id
-          (start_id + batch - 1)
-          matches batch (Time.to_string latency)
-      done;
-      Option.iter Obs.Dashboard.stop dash;
+      (* the dashboard's final frame must render even if a request dies *)
+      Fun.protect
+        ~finally:(fun () -> Option.iter Obs.Dashboard.stop dash)
+        (fun () ->
+          for r = 1 to requests do
+            let start_id = Prng.int rng (n_images - batch) in
+            let probes =
+              Facedata.probe_batch ~img_size ~start_id ~batch
+                ~impostor_every:5
+            in
+            let t0 = Engine.now () in
+            let flags =
+              Obs.Span.with_ ~node:"app" ~name:"request"
+                ~attrs:[ ("id", string_of_int r) ]
+                (fun () ->
+                  ok_exn (Faceverify.verify fv ~start_id ~batch ~probes))
+            in
+            let latency = Engine.now () - t0 in
+            Option.iter (fun s -> Obs.Slo.observe s ~latency ~ok:true) slo_t;
+            let matches =
+              Bytes.fold_left
+                (fun acc c -> if c = '\001' then acc + 1 else acc)
+                0 flags
+            in
+            Format.printf "  request %2d: ids %5d..%5d  %2d/%2d genuine  %s@."
+              r start_id
+              (start_id + batch - 1)
+              matches batch (Time.to_string latency)
+          done);
       (match slo_t with
       | Some s ->
         ignore (Obs.Slo.check s);
@@ -295,10 +318,29 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
             l
         | [], [] -> Format.printf "@.no revocation events recorded@."
       end;
-      if journal then begin
-        Obs.Journal.set_enabled false;
-        Format.printf "@.%a" Obs.Journal.dump ()
-      end;
+      if journal_on then Obs.Journal.set_enabled false;
+      if journal then Format.printf "@.%a" Obs.Journal.dump ();
+      (match artifacts with
+      | Some dir ->
+        Obs.Span.set_enabled false;
+        let extra =
+          match slo_t with
+          | Some s -> [ ("slo.txt", Format.asprintf "%a" Obs.Slo.pp_report s) ]
+          | None -> []
+        in
+        Obs.Artifacts.save ~extra ~dir
+          ~meta:
+            [
+              ("scenario", "run");
+              ("placement", placement_name placement);
+              ("batch", string_of_int batch);
+              ("requests", string_of_int requests);
+              ("seed", string_of_int seed);
+              ("elapsed_ns", string_of_int (Engine.now ()));
+            ]
+          ();
+        Format.printf "@.saved run artifacts to %s/@." dir
+      | None -> ());
       match trace with
       | Some n ->
         Format.printf "@.first %d network messages:@." n;
@@ -559,17 +601,19 @@ let top_cmd rate requests seed interval_us =
       let rng = Prng.create ~seed in
       let ok = ref 0 and err = ref 0 in
       let s =
-        Loadgen.run_open_loop ~rng ~rate_per_s:rate ~n:requests (fun _ ->
-            let t0 = Engine.now () in
-            let r =
-              F.Retry.run (fun () -> Core.Api.request_invoke client svc)
-            in
-            (match r with Ok () -> incr ok | Error _ -> incr err);
-            Obs.Slo.observe slo
-              ~latency:(Engine.now () - t0)
-              ~ok:(Result.is_ok r))
+        Fun.protect
+          ~finally:(fun () -> Obs.Dashboard.stop dash)
+          (fun () ->
+            Loadgen.run_open_loop ~rng ~rate_per_s:rate ~n:requests (fun _ ->
+                let t0 = Engine.now () in
+                let r =
+                  F.Retry.run (fun () -> Core.Api.request_invoke client svc)
+                in
+                (match r with Ok () -> incr ok | Error _ -> incr err);
+                Obs.Slo.observe slo
+                  ~latency:(Engine.now () - t0)
+                  ~ok:(Result.is_ok r)))
       in
-      Obs.Dashboard.stop dash;
       ignore (Obs.Slo.check slo);
       Format.printf "@.%d ok, %d failed, p99 %s@." !ok !err
         (Time.to_string s.Loadgen.p99);
@@ -663,6 +707,166 @@ let topology_cmd placement =
             /. 1024. /. 1024.))
         tb.Tb.ctrls)
 
+(* ---------------- analyze ------------------------------------------- *)
+
+(* The same fast-path knobs the loadcurve bench sweeps: sNIC controller
+   at the knee, doorbell coalescing and translation caching on. The
+   what-if profiler runs its virtual-speedup grid against this scenario
+   so "which component dominates the tax at saturation" is answered on
+   the configuration the paper's headline numbers use. *)
+let knee_config () =
+  {
+    Net.Config.default with
+    c_msg = 190;
+    c_doorbell = 100;
+    ctrl_batch = 16;
+    translation_cache = true;
+    ctrl_queue_bound = 256;
+  }
+
+(* One deterministic measurement: an open-loop invoke workload against a
+   SmartNIC-placed controller, optionally with one component's service
+   time scaled — the exact-virtual-speedup probe of Obs.Whatif. *)
+let whatif_measure ~rate ~n ~seed ~component ~factor =
+  let module F = Fractos_fault in
+  let module Loadgen = Fractos_workloads.Loadgen in
+  let config =
+    match component with
+    | None -> knee_config ()
+    | Some c -> (
+      match Net.Config.scale_component (knee_config ()) c factor with
+      | Some cfg -> cfg
+      | None ->
+        Format.eprintf "fractos analyze: unknown component %S@." c;
+        exit 2)
+  in
+  Tb.run ~config (fun tb ->
+      let host = Tb.add_host tb "host" in
+      let ctrl = Tb.add_snic_ctrl tb ~host in
+      let server = Tb.add_proc tb ~on:host ~ctrl "server" in
+      let client = Tb.add_proc tb ~on:host ~ctrl "client" in
+      Engine.spawn (fun () ->
+          let rec loop () =
+            ignore (Core.Api.receive server);
+            loop ()
+          in
+          loop ());
+      let svc = ok_exn (Core.Api.request_create server ~tag:"svc" ()) in
+      let svc = Tb.grant ~src:server ~dst:client svc in
+      (* warm-up populates the translation memo *)
+      ok_exn (Core.Api.request_invoke client svc);
+      let rng = Prng.create ~seed in
+      let ok = ref 0 in
+      let s =
+        Loadgen.run_open_loop ~rng ~rate_per_s:rate ~n (fun _ ->
+            match F.Retry.run (fun () -> Core.Api.request_invoke client svc) with
+            | Ok () -> incr ok
+            | Error _ -> ())
+      in
+      let elapsed_s = Time.to_us_f s.Loadgen.elapsed /. 1e6 in
+      {
+        Obs.Whatif.m_goodput =
+          (if elapsed_s > 0. then float_of_int !ok /. elapsed_s else 0.);
+        m_p99_us = Time.to_us_f s.Loadgen.p99;
+      })
+
+let analyze_cmd dir whatif rate n seed factors whatif_csv =
+  if whatif then begin
+    Format.printf
+      "what-if scenario: open-loop invoke at %.0fk req/s, %d requests, snic \
+       controller, seed %d@."
+      (rate /. 1e3) n seed;
+    Format.printf "components: %s; speedup factors: %s@.@."
+      (String.concat ", " Net.Config.components)
+      (String.concat ", " (List.map (Printf.sprintf "x%.2f") factors));
+    let profile =
+      Obs.Whatif.profile ~components:Net.Config.components ~factors
+        ~measure:(fun ~component ~factor ->
+          whatif_measure ~rate ~n ~seed ~component ~factor)
+    in
+    Format.printf "%a" Obs.Whatif.pp profile;
+    match whatif_csv with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Whatif.to_csv profile);
+      close_out oc;
+      Format.printf "@.wrote what-if grid to %s@." path
+    | None -> ()
+  end
+  else
+    match dir with
+    | None ->
+      Format.eprintf
+        "fractos analyze: pass an artifact DIR (from fractos run \
+         --artifacts) or --whatif@.";
+      exit 2
+    | Some d -> (
+      match Obs.Artifacts.load d with
+      | Error msg ->
+        Format.eprintf "fractos analyze: %s@." msg;
+        exit 1
+      | Ok a -> Format.printf "%a" Obs.Artifacts.pp a)
+
+(* ---------------- diff ---------------------------------------------- *)
+
+let diff_cmd dir_a dir_b threshold fail_on_change =
+  match (Obs.Artifacts.load dir_a, Obs.Artifacts.load dir_b) with
+  | Error msg, _ | _, Error msg ->
+    Format.eprintf "fractos diff: %s@." msg;
+    exit 1
+  | Ok a, Ok b ->
+    let d = Obs.Diff.diff ~threshold a b in
+    Format.printf "%a" Obs.Diff.pp d;
+    if fail_on_change && Obs.Diff.significant d then exit 1
+
+(* ---------------- gate ---------------------------------------------- *)
+
+let gate_cmd fresh baseline tolerance emit scale out =
+  let load path =
+    match Obs.Json.of_file path with
+    | Ok j -> j
+    | Error msg ->
+      Format.eprintf "fractos gate: %s@." msg;
+      exit 1
+  in
+  let fresh_j = load fresh in
+  if emit then begin
+    match Obs.Gate.extract fresh_j with
+    | Error msg ->
+      Format.eprintf "fractos gate: %s@." msg;
+      exit 1
+    | Ok metrics -> (
+      let s =
+        Obs.Gate.emit_string ~scale ~source:(Filename.basename fresh)
+          ~tolerance:
+            (Option.value ~default:Obs.Gate.default_tolerance tolerance)
+          metrics
+      in
+      match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc;
+        Format.printf "wrote baseline digest to %s@." path
+      | None -> print_string s)
+  end
+  else
+    match baseline with
+    | None ->
+      Format.eprintf "fractos gate: --baseline FILE is required (or --emit)@.";
+      exit 2
+    | Some b -> (
+      match
+        Obs.Gate.check ?tolerance ~baseline:(load b) ~fresh:fresh_j ()
+      with
+      | Error msg ->
+        Format.eprintf "fractos gate: %s@." msg;
+        exit 1
+      | Ok report ->
+        Format.printf "baseline %s vs fresh %s@.%a" b fresh
+          Obs.Gate.pp_result report;
+        if not report.Obs.Gate.r_pass then exit 1)
+
 (* ---------------- cmdliner wiring ----------------------------------- *)
 
 let run_t =
@@ -671,7 +875,144 @@ let run_t =
     Term.(
       const run_cmd $ placement $ batch $ requests $ seed $ trace $ trace_json
       $ metrics $ breakdown $ audit $ openmetrics $ hist_csv $ journal
-      $ journal_cap $ audit_cap $ slo_flag $ top_flag)
+      $ journal_cap $ audit_cap $ slo_flag $ top_flag $ artifacts_dir)
+
+let analyze_t =
+  let dir =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Artifact directory written by $(b,fractos run --artifacts).")
+  in
+  let whatif =
+    Arg.(
+      value & flag
+      & info [ "whatif" ]
+          ~doc:"Run the causal what-if profiler: re-run the knee scenario \
+                with each component's service time scaled and rank \
+                components by marginal goodput gain (exact virtual \
+                speedup).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1_500_000.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Offered open-loop load for the what-if scenario. The \
+                default drives the controller well past its ~890k req/s \
+                knee so goodput is capacity-bound and marginal speedups \
+                are visible.")
+  in
+  let n =
+    Arg.(
+      value & opt int 2000
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Requests per what-if measurement.")
+  in
+  let factors =
+    Arg.(
+      value
+      & opt (list float) [ 0.5; 0.75 ]
+      & info [ "factors" ] ~docv:"F,..."
+          ~doc:"Service-time scale factors to probe (1.0 = unchanged; 0.5 \
+                = component twice as fast).")
+  in
+  let whatif_csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "whatif-csv" ] ~docv:"FILE"
+          ~doc:"Write the full component x factor measurement grid to \
+                $(docv) as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Inspect a run's saved artifacts, or run the causal what-if \
+             profiler (--whatif) for marginal disaggregation-tax \
+             attribution")
+    Term.(
+      const analyze_cmd $ dir $ whatif $ rate $ n $ seed $ factors
+      $ whatif_csv)
+
+let diff_t =
+  let dir_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR_A" ~doc:"Baseline artifact directory.")
+  in
+  let dir_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR_B" ~doc:"Candidate artifact directory.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.10
+      & info [ "threshold" ] ~docv:"F"
+          ~doc:"Significance threshold as a fraction (0.10 = 10% relative \
+                change; 10 share points for breakdown categories).")
+  in
+  let fail_on_change =
+    Arg.(
+      value & flag
+      & info [ "fail-on-change" ]
+          ~doc:"Exit 1 when any significant change is found (for CI).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Structured A/B comparison of two runs' saved artifacts with \
+             significance thresholds")
+    Term.(const diff_cmd $ dir_a $ dir_b $ threshold $ fail_on_change)
+
+let gate_t =
+  let fresh =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FRESH"
+          ~doc:"Freshly produced bench JSON (BENCH_loadcurve.json or \
+                BENCH_copybw.json).")
+  in
+  let baseline =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed baseline digest (bench/baselines/*.json) or raw \
+                bench JSON to compare against.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt (some float) None
+      & info [ "tolerance" ] ~docv:"F"
+          ~doc:"Allowed fractional regression (default: the baseline's \
+                embedded tolerance, else 0.10).")
+  in
+  let emit =
+    Arg.(
+      value & flag
+      & info [ "emit" ]
+          ~doc:"Emit a baseline digest from FRESH instead of checking it.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F"
+          ~doc:"With --emit: multiply every metric by $(docv). The gate's \
+                negative self-test emits an inflated baseline to prove the \
+                check fails on degradation.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"With --emit: write the digest to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "gate"
+       ~doc:"Performance regression gate: check fresh bench JSON against a \
+             committed baseline within tolerance (exit 1 on regression)")
+    Term.(const gate_cmd $ fresh $ baseline $ tolerance $ emit $ scale $ out)
 
 let primitives_t =
   Cmd.v
@@ -770,6 +1111,9 @@ let main =
   Cmd.group
     (Cmd.info "fractos" ~version:"1.0.0"
        ~doc:"FractOS distributed-OS simulator (EuroSys'22 reproduction)")
-    [ run_t; primitives_t; census_t; chaos_t; top_t; config_t; topology_t ]
+    [
+      run_t; primitives_t; census_t; chaos_t; top_t; config_t; topology_t;
+      analyze_t; diff_t; gate_t;
+    ]
 
 let () = exit (Cmd.eval main)

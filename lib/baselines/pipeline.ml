@@ -62,7 +62,9 @@ let start_stage proc ~index ~max_size =
           | None -> Net.Config.default
         in
         (* the stage's compute step: transform its buffer in place *)
-        Sim.Engine.sleep cfg.Net.Config.service_work;
+        Sim.Engine.sleep
+          (Net.Config.scale_time cfg.Net.Config.scale_client
+             cfg.Net.Config.service_work);
         let mask = stage_mask index in
         for i = 0 to len - 1 do
           Membuf.write buf ~off:i

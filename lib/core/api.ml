@@ -17,7 +17,9 @@ let call_async (proc : proc) ~size build =
       Sim.Ivar.fill iv (Error (Error.Bad_argument "process is dead"))
     else begin
       let cfg = Controller.config ctrl in
-      Sim.Engine.sleep cfg.Net.Config.proc_syscall;
+      Sim.Engine.sleep
+        (Net.Config.scale_time cfg.Net.Config.scale_client
+           cfg.Net.Config.proc_syscall);
       let reply = { r_ivar = iv; r_proc = proc } in
       Controller.enqueue_syscall ctrl (build reply) ~size ~src:proc.pnode
     end);

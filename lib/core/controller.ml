@@ -681,7 +681,9 @@ let start_copy_session ctrl ~copy_id ~total ~dst_mem =
         (* staging memcpy through the bounce buffer *)
         if len > 0 then
           Sim.Resource.use ctrl.cpu
-            ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
+            ~duration:
+              (Net.Config.scale_time cfg.scale_ctrl
+                 (Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len));
         if len > 0 then
           Membuf.write dst_mem.m_buf ~off:(dst_mem.m_off + ck.ck_off) ck.ck_data;
         (* RDMA write from the bounce buffer into process memory *)
@@ -738,7 +740,9 @@ let start_copy_session_pipelined ctrl ~copy_id ~src_ctrl ~total ~dst_mem =
         @@ fun () ->
         if len > 0 then begin
           Sim.Resource.use ctrl.copy_engine
-            ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
+            ~duration:
+              (Net.Config.scale_time cfg.scale_ctrl
+                 (Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len));
           Membuf.write dst_mem.m_buf ~off:(dst_mem.m_off + ck.ck_off)
             ck.ck_data;
           (* asynchronous RDMA write out of the bounce buffer; the slot's
@@ -835,7 +839,9 @@ let do_copy_chunks_serial ctrl ~dst ~dst_ctrl ~(m : mem) ~copy_id
           ~dst:ctrl.cnode ~cls:Net.Stats.Data ~size:len ();
       if len > 0 then
         Sim.Resource.use ctrl.cpu
-          ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len);
+          ~duration:
+              (Net.Config.scale_time cfg.scale_ctrl
+                 (Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len));
       let data =
         if len = 0 then Bytes.empty
         else Membuf.read m.m_buf ~off:(m.m_off + off) ~len
@@ -909,7 +915,9 @@ let do_copy_chunks_pipelined ctrl ~dst ~dst_ctrl ~(m : mem) ~copy_id
       Net.Fabric.transfer ctrl.fabric ~src:m.m_buf.Membuf.node ~dst:ctrl.cnode
         ~cls:Net.Stats.Data ~size:len ();
       Sim.Resource.use ctrl.copy_engine
-        ~duration:(Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len)
+        ~duration:
+              (Net.Config.scale_time cfg.scale_ctrl
+                 (Net.Config.bytes_time ~bw_bps:cfg.memcpy_bw_bps len))
     end;
     let data =
       if len = 0 then Bytes.empty

@@ -18,6 +18,10 @@ type t = {
   kernels : (string, kernel) Hashtbl.t;
 }
 
+(* Every timed GPU step goes through [dt], so the what-if device factor
+   covers allocation, kernel load and execution alike. *)
+let dt config d = Net.Config.scale_time config.Net.Config.scale_device d
+
 let create ~node ~config ~mem_bytes =
   {
     gnode = node;
@@ -31,7 +35,7 @@ let create ~node ~config ~mem_bytes =
 let node t = t.gnode
 
 let alloc t size =
-  Sim.Engine.sleep t.config.Net.Config.gpu_alloc;
+  Sim.Engine.sleep (dt t.config t.config.Net.Config.gpu_alloc);
   if size > t.mem_free then Error "GPU out of memory"
   else begin
     t.mem_free <- t.mem_free - size;
@@ -41,7 +45,7 @@ let alloc t size =
   end
 
 let free t buf =
-  Sim.Engine.sleep t.config.Net.Config.gpu_alloc;
+  Sim.Engine.sleep (dt t.config t.config.Net.Config.gpu_alloc);
   match Hashtbl.find_opt t.allocations buf.Core.Membuf.id with
   | Some size ->
     Hashtbl.remove t.allocations buf.Core.Membuf.id;
@@ -51,7 +55,7 @@ let free t buf =
 let mem_free_bytes t = t.mem_free
 
 let load_kernel t kernel =
-  Sim.Engine.sleep t.config.Net.Config.gpu_alloc;
+  Sim.Engine.sleep (dt t.config t.config.Net.Config.gpu_alloc);
   Hashtbl.replace t.kernels kernel.k_name kernel
 
 let launch t ~name ~items ~bufs ~imms =
@@ -63,7 +67,9 @@ let launch t ~name ~items ~bufs ~imms =
     Obs.Span.with_ ~node ~name:"gpu.exec"
       ~attrs:[ ("kernel", name); ("items", string_of_int items) ]
       (fun () ->
-        let duration = t.config.Net.Config.gpu_launch + k.k_cost ~items in
+        let duration =
+          dt t.config (t.config.Net.Config.gpu_launch + k.k_cost ~items)
+        in
         Sim.Resource.use t.engine ~duration;
         k.k_run ~bufs ~imms);
     Obs.Metrics.observe

@@ -83,9 +83,10 @@ let store_write t ~pos data =
    movement shares the device's internal bandwidth. *)
 let service t ~latency ~len =
   let cfg = t.config in
-  Sim.Resource.use t.queue ~duration:latency;
+  let dt = Net.Config.scale_time cfg.Net.Config.scale_device in
+  Sim.Resource.use t.queue ~duration:(dt latency);
   let xfer =
-    Net.Config.bytes_time ~bw_bps:cfg.Net.Config.nvme_bandwidth_bps len
+    dt (Net.Config.bytes_time ~bw_bps:cfg.Net.Config.nvme_bandwidth_bps len)
   in
   if xfer > 0 then Sim.Resource.use t.bus ~duration:xfer
 

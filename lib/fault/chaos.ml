@@ -48,6 +48,7 @@ type report = {
   r_end_time : Sim.Time.t;
   r_sampling : sampling_summary option;
   r_slo : string list option;
+  r_journal : (string * int) list option;
 }
 
 let passed r = r.r_violations = []
@@ -337,20 +338,25 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
              r
            end
          in
-         let wg = Sim.Waitgroup.create () in
-         for k = 0 to clients - 1 do
-           Sim.Waitgroup.spawn wg (fun () ->
-               let idx = ref k in
-               while !idx < requests do
-                 let i = !idx in
-                 results.(i) <- Some (one_request k i);
-                 idx := i + clients
-               done)
-         done;
-         Sim.Waitgroup.wait wg;
-         (* Quiesce: stop injecting, let late reboots/cleanups land. *)
-         Inject.disable tb.Tb.fabric;
-         Sim.Engine.sleep (spec.Spec.s_horizon + Sim.Time.ms 2);
+         (* the dashboard's final frame must render even if the drive
+            loop dies *)
+         Fun.protect
+           ~finally:(fun () -> Option.iter Obs.Dashboard.stop dash)
+           (fun () ->
+             let wg = Sim.Waitgroup.create () in
+             for k = 0 to clients - 1 do
+               Sim.Waitgroup.spawn wg (fun () ->
+                   let idx = ref k in
+                   while !idx < requests do
+                     let i = !idx in
+                     results.(i) <- Some (one_request k i);
+                     idx := i + clients
+                   done)
+             done;
+             Sim.Waitgroup.wait wg;
+             (* Quiesce: stop injecting, let late reboots/cleanups land. *)
+             Inject.disable tb.Tb.fabric;
+             Sim.Engine.sleep (spec.Spec.s_horizon + Sim.Time.ms 2));
          (match slo with
          | Some s ->
              ignore (Obs.Slo.check s);
@@ -360,7 +366,6 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
                  (String.split_on_char '\n'
                     (String.trim (Format.asprintf "%a" Obs.Slo.pp_report s)))
          | None -> ());
-         Option.iter Obs.Dashboard.stop dash;
          let inv =
            Invariants.check ~ctrls:tb.Tb.ctrls ~plan:pl ~install_time:t0 ()
          in
@@ -447,6 +452,21 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
     r_end_time = !end_time;
     r_sampling = sampling_summary;
     r_slo = !slo_lines;
+    r_journal =
+      (if Obs.Journal.enabled () || Obs.Journal.recorded () > 0 then
+         Some
+           ([
+              ("recorded", Obs.Journal.recorded ());
+              ("held", Obs.Journal.count ());
+              ("overflowed", Obs.Journal.overflowed ());
+            ]
+           @ List.map
+               (fun s ->
+                 ( "overflow." ^ Obs.Journal.severity_name s,
+                   Obs.Journal.overflowed_by_severity s ))
+               [ Obs.Journal.Debug; Obs.Journal.Info; Obs.Journal.Warn;
+                 Obs.Journal.Error ])
+       else None);
   }
 
 let to_lines r =
@@ -486,6 +506,14 @@ let to_lines r =
             s.s_seen s.s_healthy s.s_kept_error s.s_kept_shed s.s_kept_slow
             s.s_kept_head s.s_spans_kept s.s_spans_pruned s.s_exemplars;
         ])
+  @ (match r.r_journal with
+    | None -> []
+    | Some kvs ->
+      [
+        "journal: "
+        ^ String.concat " "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) kvs);
+      ])
   @ (match r.r_slo with
     | None -> []
     | Some lines -> List.map (fun l -> if l = "" then l else "slo| " ^ l) lines)

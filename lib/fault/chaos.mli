@@ -58,6 +58,10 @@ type report = {
       (** present iff [run] was given [~sampling] *)
   r_slo : string list option;
       (** rendered {!Obs.Slo.pp_report} lines, present iff [~slo] *)
+  r_journal : (string * int) list option;
+      (** flight-recorder accounting — recorded/held/overflowed totals
+          plus per-severity overflow counts — present iff the journal
+          was enabled during the run *)
 }
 
 val run :

@@ -43,6 +43,16 @@ type t = {
   ctrl_queue_bound : int;
   translation_cache : bool;
   peer_ack_timeout : Sim.Time.t;
+  (* What-if (causal-profiler) hooks: each factor virtually scales one
+     component's service time — the Coz virtual-speedup idea made exact
+     by the simulator. 1.0 is bit-identical to the calibrated model (the
+     scaling sites skip the float round-trip entirely); Obs.Whatif
+     re-runs a seeded scenario with one factor lowered and attributes
+     the goodput/p99 delta to that component. *)
+  scale_ctrl : float;  (* controller cost classes incl. doorbell *)
+  scale_fabric : float;  (* link latency + wire/DMA serialization *)
+  scale_device : float;  (* GPU engine + NVMe media/bus *)
+  scale_client : float;  (* process syscall post + service compute *)
 }
 
 let default =
@@ -91,7 +101,30 @@ let default =
     ctrl_queue_bound = 0;
     translation_cache = false;
     peer_ack_timeout = Sim.Time.ms 2;
+    scale_ctrl = 1.0;
+    scale_fabric = 1.0;
+    scale_device = 1.0;
+    scale_client = 1.0;
   }
+
+(* The what-if component namespace: the strings Obs.Whatif and the
+   `fractos analyze --whatif` CLI rank by. *)
+let components = [ "ctrl"; "fabric"; "device"; "client" ]
+
+let scale_component t name f =
+  match name with
+  | "ctrl" -> Some { t with scale_ctrl = f }
+  | "fabric" -> Some { t with scale_fabric = f }
+  | "device" -> Some { t with scale_device = f }
+  | "client" -> Some { t with scale_client = f }
+  | _ -> None
+
+(* Scale a duration by a what-if factor. The [s = 1.0] fast path is not
+   an optimization but a correctness guarantee: no float round-trip, so
+   an unscaled config reproduces the calibrated model bit for bit. *)
+let scale_time s t =
+  if s = 1.0 || t = 0 then t
+  else max 0 (int_of_float (Float.round (float_of_int t *. s)))
 
 (* The copy engine divides by these knobs ([chunk_sizes] would loop forever
    on a non-positive chunk), so reject bad values at fabric construction
@@ -103,7 +136,16 @@ let validate t =
   in
   pos "bounce_chunk" t.bounce_chunk;
   pos "copy_window" t.copy_window;
-  pos "copy_streams" t.copy_streams
+  pos "copy_streams" t.copy_streams;
+  let posf name v =
+    if not (v > 0.) then
+      invalid_arg
+        (Printf.sprintf "Net.Config: %s must be positive (got %g)" name v)
+  in
+  posf "scale_ctrl" t.scale_ctrl;
+  posf "scale_fabric" t.scale_fabric;
+  posf "scale_device" t.scale_device;
+  posf "scale_client" t.scale_client
 
 let bytes_time ~bw_bps n =
   if n <= 0 then 0

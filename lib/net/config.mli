@@ -182,6 +182,23 @@ type t = {
           arrive in time (crash mid-delegation, partition, message loss)
           the insertion proceeds best-effort instead of blocking forever.
           0 = wait without bound. *)
+  (* -------- what-if (causal profiler) hooks -------- *)
+  scale_ctrl : float;
+      (** Virtually scale every controller service time (all cost classes,
+          doorbell polls, staging memcpys) by this factor. 1.0 (default)
+          is bit-identical to the calibrated model; [Obs.Whatif] re-runs a
+          seeded scenario with a factor < 1 to measure how much of the
+          disaggregation tax that component is responsible for (Coz-style
+          virtual speedup, made exact by the simulator). *)
+  scale_fabric : float;
+      (** Virtually scale link latency (loopback/wire/PCIe one-way) and
+          wire/DMA serialization time. 1.0 = calibrated. *)
+  scale_device : float;
+      (** Virtually scale GPU engine time (alloc/load/launch/kernel) and
+          NVMe media latency + internal bus transfer. 1.0 = calibrated. *)
+  scale_client : float;
+      (** Virtually scale the user-side syscall post cost and generic
+          service compute ([service_work]). 1.0 = calibrated. *)
 }
 
 val default : t
@@ -196,3 +213,16 @@ val validate : t -> unit
 val bytes_time : bw_bps:int -> int -> Sim.Time.t
 (** [bytes_time ~bw_bps n] is the time to move [n] bytes at [bw_bps] bits
     per second, rounded up to at least 1 ns for [n > 0]. *)
+
+val components : string list
+(** The what-if component namespace: ["ctrl"; "fabric"; "device";
+    "client"], in the order {!scale_component} understands. *)
+
+val scale_component : t -> string -> float -> t option
+(** [scale_component t comp f] is [t] with [comp]'s what-if factor set to
+    [f], or [None] for an unknown component name. *)
+
+val scale_time : float -> Sim.Time.t -> Sim.Time.t
+(** [scale_time s t] rounds [t *. s] to nanoseconds (never negative). The
+    [s = 1.0] case returns [t] unchanged with no float round-trip — the
+    guarantee that unscaled configs are bit-identical to the seed. *)

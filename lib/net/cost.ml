@@ -19,11 +19,20 @@ let factor (cfg : Config.t) (kind : Node.kind) cls =
     | Cap_transfer -> cfg.snic_m_cap
     | Revoke -> cfg.snic_m_lookup)
 
+(* Every controller charge funnels through [one]/[scaled], so applying
+   the what-if factor here covers the whole control plane. The factor is
+   folded into the node multiplier (1.0 stays the exact same float
+   expression the seed evaluated, so defaults are bit-identical). *)
 let one cfg kind cls =
-  int_of_float (Float.round (float_of_int (base cfg cls) *. factor cfg kind cls))
+  int_of_float
+    (Float.round
+       (float_of_int (base cfg cls) *. factor cfg kind cls
+       *. cfg.Config.scale_ctrl))
 
 let v cfg kind units =
   List.fold_left (fun acc (cls, n) -> acc + (n * one cfg kind cls)) 0 units
 
 let scaled cfg kind cls base =
-  int_of_float (Float.round (float_of_int base *. factor cfg kind cls))
+  int_of_float
+    (Float.round
+       (float_of_int base *. factor cfg kind cls *. cfg.Config.scale_ctrl))

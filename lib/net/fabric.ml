@@ -45,9 +45,11 @@ let nodes t = List.rev t.nodes
 
 let base_latency t ~src ~dst =
   let cfg = t.config in
-  if src.Node.id = dst.Node.id then cfg.loopback_oneway
-  else if Node.same_machine src dst then cfg.loopback_oneway + cfg.pcie_extra
-  else cfg.wire_oneway
+  Config.scale_time cfg.scale_fabric
+    (if src.Node.id = dst.Node.id then cfg.loopback_oneway
+     else if Node.same_machine src dst then
+       cfg.loopback_oneway + cfg.pcie_extra
+     else cfg.wire_oneway)
 
 let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
   let cfg = t.config in
@@ -154,7 +156,10 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
   let now = Sim.Engine.now () in
   let extra = match fault with Delay d when d > 0 -> d | _ -> 0 in
   if on_network then begin
-    let ser = Config.bytes_time ~bw_bps:cfg.net_bandwidth_bps wire_bytes in
+    let ser =
+      Config.scale_time cfg.scale_fabric
+        (Config.bytes_time ~bw_bps:cfg.net_bandwidth_bps wire_bytes)
+    in
     let tx_start, tx_done = Sim.Resource.reserve src.Node.tx ~duration:ser in
     match fault with
     | Drop ->
@@ -181,7 +186,10 @@ let send t ~src ~dst ?(cls = Stats.Control) ~size deliver =
     (* intra-machine: loopback QP / PCIe DMA, off the switch. Drop and
        Duplicate were downgraded above, so every local message is
        delivered — and its span finished — exactly once. *)
-    let ser = Config.bytes_time ~bw_bps:cfg.pcie_bandwidth_bps wire_bytes in
+    let ser =
+      Config.scale_time cfg.scale_fabric
+        (Config.bytes_time ~bw_bps:cfg.pcie_bandwidth_bps wire_bytes)
+    in
     let dma_start, dma_done = Sim.Resource.reserve src.Node.dma ~duration:ser in
     if sp <> 0 then Obs.Span.set_attr sp "q" (string_of_int (dma_start - now));
     Sim.Engine.schedule (dma_done + base + extra - now) deliver

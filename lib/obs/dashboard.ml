@@ -49,7 +49,7 @@ let human v =
   else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
   else Printf.sprintf "%.1f" v
 
-let render t =
+let render ?(final = false) t =
   let now = Sim.Engine.now () in
   let cur = counter_sums () in
   let worst_burn =
@@ -57,7 +57,7 @@ let render t =
   in
   Format.fprintf t.out
     "[top] t=%-9s good=%s/s shed=%s/s copy=%sB/s backlog sys=%d peer=%d \
-     inflight=%d%s%s@."
+     inflight=%d%s%s%s@."
     (Sim.Time.to_string now)
     (human (rate t now cur "ctrl.requests_delivered"))
     (human (rate t now cur "ctrl.overloads"))
@@ -71,7 +71,8 @@ let render t =
          (if worst_burn = infinity then "inf"
           else Printf.sprintf "%.2f" worst_burn))
     (let d = Journal.overflowed () in
-     if d = 0 then "" else Printf.sprintf " journal_drop=%d" d);
+     if d = 0 then "" else Printf.sprintf " journal_drop=%d" d)
+    (if final then " fin" else "");
   t.last_counters <- cur;
   t.last_time <- now;
   t.n_ticks <- t.n_ticks + 1
@@ -100,10 +101,13 @@ let start ?(interval = 1_000_000) ?(out = Format.err_formatter) ?(slos = [])
       loop ());
   t
 
+(* The final frame renders even if no interval tick ever fired — a run
+   shorter than one interval still produces exactly one (marked) frame
+   at quiescence — and is tagged " fin" so scripts can assert on it. *)
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;
-    render t
+    render ~final:true t
   end
 
 let ticks t = t.n_ticks

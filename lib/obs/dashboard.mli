@@ -27,8 +27,11 @@ val start :
     journal events stay fresh while the workload runs. *)
 
 val stop : t -> unit
-(** Render one final frame and stop; the fiber exits at its next wakeup.
-    Must run inside the engine. Idempotent. *)
+(** Render one final frame — marked with a trailing [" fin"] — and
+    stop; the fiber exits at its next wakeup. The final frame renders
+    even when the run was shorter than one interval, so every
+    dashboarded run emits at least one frame at quiescence. Must run
+    inside the engine. Idempotent. *)
 
 val ticks : t -> int
 (** Frames rendered so far. *)

@@ -1,0 +1,177 @@
+(* Cross-run diff: structured A/B comparison of two artifact sets with
+   a significance threshold.
+
+   A deterministic simulator makes run-to-run comparison unusually
+   sharp: any value drift between two same-seed runs is a real
+   behavioral change, not noise. The diff walks every comparable value
+   pair — OpenMetrics series, histogram mean/p50/p99, breakdown
+   category shares, journal counters — and keeps only changes whose
+   relative delta clears the threshold, ranked by magnitude so the
+   biggest regression reads first. *)
+
+type change = {
+  d_kind : string;  (* "metric" | "hist.mean" | "hist.p99" | ... *)
+  d_key : string;
+  d_a : float;
+  d_b : float;
+  d_rel : float;  (* (b-a)/|a|; for shares, the absolute share shift *)
+}
+
+type t = {
+  df_a : string;
+  df_b : string;
+  df_threshold : float;
+  df_meta : (string * string * string) list;  (* differing meta keys *)
+  df_changes : change list;  (* significant, |rel| descending *)
+  df_added : string list;  (* series present only in B *)
+  df_removed : string list;  (* series present only in A *)
+  df_compared : int;
+}
+
+let rel_delta a b =
+  if a = 0.0 && b = 0.0 then 0.0
+  else if a = 0.0 then (if b > 0.0 then 1.0 else -1.0)
+  else (b -. a) /. Float.abs a
+
+let compare_assoc ~kind ~threshold a b (changes, compared) =
+  List.fold_left
+    (fun (changes, compared) (key, va) ->
+      match List.assoc_opt key b with
+      | None -> (changes, compared)
+      | Some vb ->
+        let rel = rel_delta va vb in
+        let changes =
+          if Float.abs rel >= threshold && va <> vb then
+            { d_kind = kind; d_key = key; d_a = va; d_b = vb; d_rel = rel }
+            :: changes
+          else changes
+        in
+        (changes, compared + 1))
+    (changes, compared) a
+
+let shares breakdown =
+  let total =
+    match List.assoc_opt "total" breakdown with
+    | Some v when v > 0.0 -> v
+    | _ -> 0.0
+  in
+  if total <= 0.0 then []
+  else
+    List.filter_map
+      (fun (c, v) -> if c = "total" then None else Some (c, v /. total))
+      breakdown
+
+let hist_metrics (h : Artifacts.hist) =
+  [ ("mean", h.h_mean); ("p50", h.h_p50); ("p99", h.h_p99) ]
+
+let diff ?(threshold = 0.10) (a : Artifacts.t) (b : Artifacts.t) =
+  let changes, compared =
+    compare_assoc ~kind:"metric" ~threshold a.a_series b.a_series ([], 0)
+  in
+  (* histograms, keyed node/name, compared on mean/p50/p99 *)
+  let hist_assoc h kind =
+    List.concat_map
+      (fun (hh : Artifacts.hist) ->
+        List.filter_map
+          (fun (m, v) ->
+            if m = kind then Some (hh.h_node ^ "/" ^ hh.h_name, v) else None)
+          (hist_metrics hh))
+      h
+  in
+  let changes, compared =
+    List.fold_left
+      (fun acc kind ->
+        compare_assoc ~kind:("hist." ^ kind) ~threshold
+          (hist_assoc a.a_hists kind) (hist_assoc b.a_hists kind) acc)
+      (changes, compared)
+      [ "mean"; "p50"; "p99" ]
+  in
+  (* breakdown category shares: absolute share shift against threshold *)
+  let sa = shares a.a_breakdown and sb = shares b.a_breakdown in
+  let changes, compared =
+    List.fold_left
+      (fun (changes, compared) (c, va) ->
+        match List.assoc_opt c sb with
+        | None -> (changes, compared)
+        | Some vb ->
+          let shift = vb -. va in
+          let changes =
+            if Float.abs shift >= threshold then
+              { d_kind = "breakdown"; d_key = c; d_a = va; d_b = vb; d_rel = shift }
+              :: changes
+            else changes
+          in
+          (changes, compared + 1))
+      (changes, compared) sa
+  in
+  let changes, compared =
+    compare_assoc ~kind:"journal" ~threshold
+      (List.map (fun (k, v) -> (k, float_of_int v)) a.a_journal)
+      (List.map (fun (k, v) -> (k, float_of_int v)) b.a_journal)
+      (changes, compared)
+  in
+  let only l l' =
+    List.filter_map
+      (fun (k, _) -> if List.mem_assoc k l' then None else Some k)
+      l
+    |> List.sort compare
+  in
+  let meta_diff =
+    List.filter_map
+      (fun (k, va) ->
+        match List.assoc_opt k b.a_meta with
+        | Some vb when vb <> va -> Some (k, va, vb)
+        | _ -> None)
+      a.a_meta
+  in
+  {
+    df_a = a.a_dir;
+    df_b = b.a_dir;
+    df_threshold = threshold;
+    df_meta = meta_diff;
+    df_changes =
+      List.sort
+        (fun x y ->
+          match compare (Float.abs y.d_rel) (Float.abs x.d_rel) with
+          | 0 -> compare (x.d_kind, x.d_key) (y.d_kind, y.d_key)
+          | c -> c)
+        changes;
+    df_added = only b.a_series a.a_series;
+    df_removed = only a.a_series b.a_series;
+    df_compared = compared;
+  }
+
+let significant t = t.df_changes <> []
+
+let pp_value fmt v =
+  if Float.abs v >= 1e6 then Format.fprintf fmt "%.3e" v
+  else if Float.is_integer v && Float.abs v < 1e6 then
+    Format.fprintf fmt "%.0f" v
+  else Format.fprintf fmt "%.3f" v
+
+let pp fmt t =
+  let open Format in
+  fprintf fmt "diff A=%s B=%s (significance threshold %.0f%%)@." t.df_a t.df_b
+    (t.df_threshold *. 100.0);
+  List.iter
+    (fun (k, va, vb) -> fprintf fmt "  meta %s: %s -> %s@." k va vb)
+    t.df_meta;
+  fprintf fmt
+    "  %d values compared: %d significant changes, %d added series, %d \
+     removed@."
+    t.df_compared
+    (List.length t.df_changes)
+    (List.length t.df_added)
+    (List.length t.df_removed);
+  List.iter
+    (fun c ->
+      if c.d_kind = "breakdown" then
+        fprintf fmt "  %-10s %-44s %5.1f%% -> %5.1f%% (%+.1fpp)@." c.d_kind
+          c.d_key (c.d_a *. 100.0) (c.d_b *. 100.0) (c.d_rel *. 100.0)
+      else
+        fprintf fmt "  %-10s %-44s %a -> %a (%+.1f%%)@." c.d_kind c.d_key
+          pp_value c.d_a pp_value c.d_b (c.d_rel *. 100.0))
+    t.df_changes;
+  List.iter (fun k -> fprintf fmt "  only in B: %s@." k) t.df_added;
+  List.iter (fun k -> fprintf fmt "  only in A: %s@." k) t.df_removed;
+  if t.df_changes = [] then fprintf fmt "  no significant value changes@."

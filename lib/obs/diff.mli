@@ -1,0 +1,37 @@
+(** Cross-run diff: structured A/B comparison of two artifact sets.
+
+    Walks every comparable value pair between two {!Artifacts.t} —
+    OpenMetrics series, histogram mean/p50/p99, breakdown category
+    shares, journal counters — and keeps the changes whose relative
+    delta clears a significance threshold, ranked by magnitude. In a
+    deterministic simulator any same-seed drift is a real behavioral
+    change, so the threshold filters relevance, not noise. *)
+
+type change = {
+  d_kind : string;  (** ["metric"], ["hist.mean"], ["hist.p50"],
+                        ["hist.p99"], ["breakdown"], ["journal"] *)
+  d_key : string;
+  d_a : float;
+  d_b : float;
+  d_rel : float;
+      (** relative delta [(b-a)/|a|]; for breakdown shares, the absolute
+          share shift in fractional points *)
+}
+
+type t = {
+  df_a : string;
+  df_b : string;
+  df_threshold : float;
+  df_meta : (string * string * string) list;  (** differing meta keys *)
+  df_changes : change list;  (** significant only, |rel| descending *)
+  df_added : string list;  (** series present only in B *)
+  df_removed : string list;  (** series present only in A *)
+  df_compared : int;
+}
+
+val diff : ?threshold:float -> Artifacts.t -> Artifacts.t -> t
+(** [threshold] defaults to [0.10] (10% relative; 10 share points for
+    breakdown categories). *)
+
+val significant : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Minimal strict JSON reader (no external dependencies).
+
+    Parses the JSON this repository itself emits — [BENCH_*.json] bench
+    results and [bench/baselines/*.json] regression-gate baselines — for
+    the {!Gate} checker and the [fractos diff] tooling. Numbers are
+    floats, objects preserve key order, duplicate keys resolve to the
+    first occurrence via {!member}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document (trailing garbage is an error). *)
+
+val of_file : string -> (t, string) result
+(** {!parse} the contents of a file; I/O errors become [Error] too. *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+
+val path : string list -> t -> t option
+(** Follow a chain of object keys. *)
+
+val number_at : string list -> t -> float option
+val string_at : string list -> t -> string option

@@ -117,7 +117,20 @@ let write path =
 (* Histogram summary CSV                                               *)
 (* ------------------------------------------------------------------ *)
 
-let histograms_csv_header = "node,name,count,sum_ns,mean_ns,p50_ns,p95_ns,p99_ns,max_ns"
+let histograms_csv_header =
+  "node,name,count,sum_ns,mean_ns,p50_ns,p95_ns,p99_ns,max_ns,exemplars"
+
+(* Exemplars from the tail sampler, keyed by bare histogram name: each
+   "le<bound>:t<trace>" pairs a latency bucket's upper bound with a
+   retained trace id, so a fat bucket in the CSV links straight to a
+   span tree that landed in it. Empty when sampling is off. *)
+let exemplars_for name =
+  List.filter_map
+    (fun (h, _bucket, upper, trace) ->
+      if h = name then Some (Printf.sprintf "le%.0f:t%d" upper trace)
+      else None)
+    (Sampler.exemplars ())
+  |> String.concat ";"
 
 let histograms_csv_string () =
   let b = Buffer.create 1024 in
@@ -127,14 +140,14 @@ let histograms_csv_string () =
       if hs.Metrics.hs_count > 0 then begin
         let h = Metrics.histogram ~node name in
         Buffer.add_string b
-          (Printf.sprintf "%s,%s,%d,%s,%s,%s,%s,%s,%d\n" node name
+          (Printf.sprintf "%s,%s,%d,%s,%s,%s,%s,%s,%d,%s\n" node name
              hs.Metrics.hs_count
              (float_str hs.Metrics.hs_sum)
              (float_str (Metrics.mean h))
              (float_str (Metrics.p50 h))
              (float_str (Metrics.p95 h))
              (float_str (Metrics.p99 h))
-             hs.Metrics.hs_max)
+             hs.Metrics.hs_max (exemplars_for name))
       end)
     (Metrics.histograms_list ());
   Buffer.contents b

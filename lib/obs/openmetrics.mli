@@ -8,7 +8,10 @@
     [_sum] and [_count]. The output ends with [# EOF].
 
     {!histograms_csv_string} summarizes each non-empty histogram as one
-    CSV row of count/sum/mean/percentiles/max in nanoseconds. *)
+    CSV row of count/sum/mean/percentiles/max in nanoseconds, plus an
+    exemplars column linking latency buckets to retained trace ids
+    (["le<bound>:t<id>" ...] joined by [';'], from {!Sampler.exemplars};
+    empty when tail sampling is off). *)
 
 val sanitize : string -> string
 (** Replace every character outside [[A-Za-z0-9_]] with ['_']. *)
