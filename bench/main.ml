@@ -29,6 +29,7 @@ let experiments : (string * (unit -> unit)) list =
     (Exp_ablation.name, Exp_ablation.run);
     (Exp_loadcurve.name, Exp_loadcurve.run);
     (Exp_copybw.name, Exp_copybw.run);
+    (Exp_cluster.name, Exp_cluster.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -141,9 +142,13 @@ let () =
     | "--copybw-json" :: path :: rest ->
       Exp_copybw.json_path := path;
       extract_loadcurve acc rest
+    | "--cluster-json" :: path :: rest ->
+      Exp_cluster.json_path := path;
+      extract_loadcurve acc rest
     | "--tiny" :: rest ->
       Exp_loadcurve.tiny := true;
       Exp_copybw.tiny := true;
+      Exp_cluster.tiny := true;
       extract_loadcurve acc rest
     | "--top" :: rest ->
       Exp_loadcurve.top := true;

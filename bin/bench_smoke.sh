@@ -6,7 +6,12 @@
 #   strictly increasing order, and account every request as ok or error;
 # - run the copy-bandwidth sweep in --tiny mode and validate the emitted
 #   BENCH_copybw.json — it must parse, carry a serial and a pipelined
-#   point, and its 1 MiB / 100 Gbps headline speedup must stay >= 2x.
+#   point, and its 1 MiB / 100 Gbps headline speedup must stay >= 2x;
+# - run the sharded-capability-space cluster sweep in --tiny mode and
+#   validate the emitted BENCH_cluster.json — it must parse, carry meta
+#   provenance, list shard counts in strictly increasing order, account
+#   every request, and its 4-shard aggregate knee goodput must stay
+#   >= 3x the single-controller knee.
 #   bin/bench_smoke.sh <bench-main.exe>
 set -eu
 
@@ -84,6 +89,47 @@ else
   grep -q '"serial_gbps"' "$copybw"
   grep -q '"pipelined_gbps"' "$copybw"
   grep -q '"speedup"' "$copybw"
+fi
+
+cluster="$tmp/BENCH_cluster.json"
+
+echo "== bench-smoke: cluster --tiny"
+"$bench" cluster --tiny --no-bechamel --cluster-json "$cluster" >/dev/null
+
+test -s "$cluster"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$cluster" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["experiment"] == "cluster"
+meta = d["meta"]
+assert meta["git"], meta
+assert meta["seeds"] == [11], meta
+assert "shard_counts" in meta["knobs"], meta
+pts = d["points"]
+assert pts, "no shard-count points"
+shards = [p["shards"] for p in pts]
+assert shards == sorted(shards) and len(set(shards)) == len(shards), \
+    "shard counts not strictly increasing: %r" % shards
+knee = {}
+for p in pts:
+    assert p["knee_goodput_rps"] > 0, p
+    knee[p["shards"]] = p["knee_goodput_rps"]
+    for s in p["sweep"]:
+        assert s["ok"] + s["errors"] == s["n"], s
+        assert s["goodput_rps"] > 0, s
+assert 1 in knee and 4 in knee, knee
+assert knee[4] >= 3.0 * knee[1], \
+    "4-shard knee %.0f fell below 3x the single-controller knee %.0f" \
+    % (knee[4], knee[1])
+EOF
+else
+  # Crude fallback: shard axis present with a knee per point.
+  grep -q '"meta"' "$cluster"
+  grep -q '"shards": 1' "$cluster"
+  grep -q '"shards": 4' "$cluster"
+  grep -q '"knee_goodput_rps"' "$cluster"
 fi
 
 echo "== bench-smoke OK"

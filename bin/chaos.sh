@@ -32,8 +32,26 @@ if ! cmp -s "$tmp/seed1.txt" "$tmp/again.txt"; then
   exit 1
 fi
 
+echo "== chaos: 10 fixed seeds, cross-shard battery (sharded capability space)"
+for seed in 1 2 3 4 5 6 7 8 9 10; do
+  if ! "$fractos" chaos --seed "$seed" --workload xshard \
+      > "$tmp/xshard$seed.txt" 2>&1; then
+    echo "chaos xshard seed $seed FAILED:"
+    cat "$tmp/xshard$seed.txt"
+    exit 1
+  fi
+done
+
+echo "== chaos: xshard determinism (seed 1 twice, byte-identical)"
+"$fractos" chaos --seed 1 --workload xshard > "$tmp/xagain.txt"
+if ! cmp -s "$tmp/xshard1.txt" "$tmp/xagain.txt"; then
+  echo "chaos xshard run is not deterministic for seed 1:"
+  diff "$tmp/xshard1.txt" "$tmp/xagain.txt" || true
+  exit 1
+fi
+
 echo "== chaos: crash-heavy spec, per-workload"
-for wl in faceverify fs mixed; do
+for wl in faceverify fs mixed copy xshard; do
   if ! "$fractos" chaos --seed 2 --workload "$wl" \
       --faults "crash=1,reboot=200us,horizon=500us" > "$tmp/$wl.txt" 2>&1
   then

@@ -502,7 +502,8 @@ let chaos_cmd seed faults workload clients requests journal journal_cap
     | Some w -> w
     | None ->
       Format.eprintf
-        "fractos chaos: unknown workload %S (faceverify, fs, mixed or copy)@."
+        "fractos chaos: unknown workload %S (faceverify, fs, mixed, copy or \
+         xshard)@."
         workload;
       exit 2
   in
@@ -1036,7 +1037,8 @@ let chaos_t =
     Arg.(
       value & opt string "mixed"
       & info [ "workload" ] ~docv:"W"
-          ~doc:"Workload mix: faceverify, fs, mixed or copy.")
+          ~doc:"Workload mix: faceverify, fs, mixed, copy or xshard \
+                (cross-shard battery on a sharded capability space).")
   in
   let clients =
     Arg.(

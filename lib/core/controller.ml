@@ -89,14 +89,100 @@ let peer_of_id ctrl id =
   if id = ctrl.ctrl_id then Some ctrl
   else List.find_opt (fun c -> c.ctrl_id = id) ctrl.peers
 
+(* ------------------------------------------------------------------ *)
+(* Shard directory                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let slot_of_ctrl_id (g : shard_group) id =
+  let n = Array.length g.sg_slots in
+  let rec go i =
+    if i >= n then None
+    else if g.sg_slots.(i).ctrl_id = id then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Authoritative owner for addresses minted by [minting_id]: the shard
+   map routes the minting slot to its first live successor. *)
+let shard_owner_id (g : shard_group) minting_id =
+  match slot_of_ctrl_id g minting_id with
+  | None -> None
+  | Some slot -> (
+    let n = Array.length g.sg_slots in
+    match Shard.route ~n ~live:(fun i -> g.sg_live.(i)) slot with
+    | None -> None
+    | Some s -> Some g.sg_slots.(s).ctrl_id)
+
+(* Locate the controller currently owning [addr]. Without a shard group
+   this is exactly the flat peer list (bit-identical to the pre-shard
+   code). With one, the directory cache memoizes minting-id -> owner-id,
+   stamped with the group's liveness generation and reset wholesale on a
+   mismatch — the PR 4 translation-cache discipline applied to routing.
+   A miss is priced controller work (one Lookup): the directory is
+   consulted locally from the shared map, never over the fabric, so a
+   lookup can neither be dropped nor hang. *)
+let locate ctrl addr =
+  match ctrl.shard with
+  | None -> peer_of_addr ctrl addr
+  | Some g ->
+    if addr.a_ctrl = ctrl.ctrl_id then Some ctrl
+    else begin
+      let cfg = config ctrl in
+      let cached =
+        if not cfg.shard_dir_cache then None
+        else begin
+          if ctrl.dir_gen <> g.sg_gen then begin
+            Hashtbl.reset ctrl.dir_cache;
+            ctrl.dir_gen <- g.sg_gen;
+            Obs.Metrics.incr ctrl.cm.cm_dir_invalidations
+          end;
+          Hashtbl.find_opt ctrl.dir_cache addr.a_ctrl
+        end
+      in
+      match cached with
+      | Some owner_id ->
+        Obs.Metrics.incr ctrl.cm.cm_dir_hits;
+        if Obs.Span.enabled () then
+          Obs.Span.set_attr (Obs.Span.current ()) "dir" "hit";
+        peer_of_id ctrl owner_id
+      | None -> (
+        Obs.Metrics.incr ctrl.cm.cm_dir_misses;
+        charge ctrl [ (Net.Cost.Lookup, 1) ];
+        if Obs.Span.enabled () then
+          Obs.Span.set_attr (Obs.Span.current ()) "dir" "miss";
+        match slot_of_ctrl_id g addr.a_ctrl with
+        | None ->
+          (* minted outside the group: flat routing *)
+          peer_of_addr ctrl addr
+        | Some slot -> (
+          let n = Array.length g.sg_slots in
+          match Shard.route ~n ~live:(fun i -> g.sg_live.(i)) slot with
+          | None -> None (* every slot down *)
+          | Some s ->
+            let owner_id = g.sg_slots.(s).ctrl_id in
+            if owner_id <> addr.a_ctrl then
+              Obs.Metrics.incr ctrl.cm.cm_shard_reroutes;
+            if cfg.shard_dir_cache then begin
+              if Hashtbl.length ctrl.dir_cache >= cfg.dir_cache_cap then
+                Hashtbl.reset ctrl.dir_cache;
+              Hashtbl.replace ctrl.dir_cache addr.a_ctrl owner_id
+            end;
+            peer_of_id ctrl owner_id))
+    end
+
 (* Run a peer operation at the owner of [addr]: locally when we are the
    owner, otherwise by sending [make_msg] and awaiting the remote reply.
-   [serialize] charges the wire-marshaling cost class on the sending side. *)
+   [serialize] charges the wire-marshaling cost class on the sending side.
+   When shard failover routes a dead minter's address to us (we are its
+   live successor), the operation runs locally and the object table
+   answers the foreign address with typed [Stale] — the owner-side
+   metadata handoff surfaces as staleness, exactly like a reboot. *)
 let at_owner ctrl addr ~size ~local ~make_msg =
   if addr.a_ctrl = ctrl.ctrl_id then local ()
   else
-    match peer_of_addr ctrl addr with
+    match locate ctrl addr with
     | None -> Error Error.Ctrl_unreachable
+    | Some owner when owner == ctrl -> local ()
     | Some peer ->
       charge ctrl [ (Net.Cost.Serialize, 1) ];
       let iv = Sim.Ivar.create () in
@@ -559,26 +645,33 @@ let rec do_invoke ctrl addr suffix_imms suffix_caps rr =
         let caps = r.r_caps @ suffix_caps in
         match r.r_parent with
         | None -> deliver ctrl r imms caps rr
-        | Some parent_addr ->
-          if parent_addr.a_ctrl = ctrl.ctrl_id then
+        | Some parent_addr -> (
+          let next =
+            if parent_addr.a_ctrl = ctrl.ctrl_id then Some ctrl
+            else locate ctrl parent_addr
+          in
+          match next with
+          | None -> rreply_opt ctrl rr (Error Error.Ctrl_unreachable)
+          | Some owner when owner == ctrl ->
+            (* self, or we are the failover successor of the parent's
+               dead minter: continue the chain here. The recursion is
+               bounded — a foreign parent address fails typed-Stale in
+               the recursive call's own lookup. *)
             do_invoke ctrl parent_addr imms caps rr
-          else (
-            match peer_of_addr ctrl parent_addr with
-            | None -> rreply_opt ctrl rr (Error Error.Ctrl_unreachable)
-            | Some peer ->
-              charge ctrl [ (Net.Cost.Serialize, 1) ];
-              (* acknowledge the posting before forwarding: the local part
-                 of the chain validated *)
-              rreply_opt ctrl rr (Ok ());
-              let size = Wire.invoke ~imms ~caps:(List.length caps) in
-              send_peer ctrl peer ~size
-                (P_invoke
-                   {
-                     addr = parent_addr;
-                     suffix_imms = imms;
-                     suffix_caps = caps;
-                     reply = None;
-                   })))
+          | Some peer ->
+            charge ctrl [ (Net.Cost.Serialize, 1) ];
+            (* acknowledge the posting before forwarding: the local part
+               of the chain validated *)
+            rreply_opt ctrl rr (Ok ());
+            let size = Wire.invoke ~imms ~caps:(List.length caps) in
+            send_peer ctrl peer ~size
+              (P_invoke
+                 {
+                   addr = parent_addr;
+                   suffix_imms = imms;
+                   suffix_caps = caps;
+                   reply = None;
+                 })))
       | O_memory _ | O_indirect ->
         rreply_opt ctrl rr
           (Error (Error.Bad_argument "request_invoke on a non-Request object"))))
@@ -996,7 +1089,11 @@ let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
              dead owner's buffer *)
           rreply_to ctrl rr (Error Error.Provider_dead)
         else
-          match peer_of_addr ctrl dst with
+          (* destination routing goes through the shard directory too: a
+             self-successor destination loops back through our own peer
+             endpoint, where the open fails typed-Stale and the final
+             chunk carries the error home *)
+          match locate ctrl dst with
           | None -> rreply_to ctrl rr (Error Error.Ctrl_unreachable)
           | Some dst_ctrl ->
             incr next_copy_id;
@@ -1034,6 +1131,56 @@ let do_copy_hw ctrl ~src_mem ~dst_mem (rr : unit rreply) =
              ignore (Sim.Ivar.try_fill rr.rr_ivar (Ok ())))))
 
 (* ------------------------------------------------------------------ *)
+(* Shard placement                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the shard-map home for a fresh object, or [None] to mint locally
+   (no group, Config.shard_placement off, or the map chose this very
+   controller). The key is a per-controller sequence folded with the
+   controller id, so placement is deterministic yet spreads by hash
+   instead of hammering one slot. Only fresh Memory objects and derived
+   Requests shard: root Requests stay pinned to their provider's
+   controller (delivery needs the provider's capspace locally), and
+   diminish / revtree children stay on their parent's (revocation trees
+   use controller-local oids). *)
+let shard_home ctrl =
+  match ctrl.shard with
+  | None -> None
+  | Some g ->
+    let cfg = config ctrl in
+    if not cfg.shard_placement then None
+    else begin
+      let key = (ctrl.ctrl_id * 1_000_003) + ctrl.place_seq in
+      ctrl.place_seq <- ctrl.place_seq + 1;
+      let n = Array.length g.sg_slots in
+      match
+        Shard.place ~n ~live:(fun i -> g.sg_live.(i)) ~seed:cfg.shard_seed key
+      with
+      | None -> None
+      | Some s ->
+        let home = g.sg_slots.(s) in
+        if home == ctrl then None else Some home
+    end
+
+(* Mint an object at [home] and wait (bounded) for its address. The wait
+   mirrors the P_ref_inc ack discipline: if the home crashed or the reply
+   was dropped, the caller gets a typed [Timeout] — never a hang. *)
+let place_remote ctrl (home : ctrl) ~size make_msg =
+  charge ctrl [ (Net.Cost.Serialize, 1) ];
+  let iv = Sim.Ivar.create () in
+  send_peer ctrl home ~size (make_msg { rr_ivar = iv; rr_ctrl = ctrl });
+  let timeout = (config ctrl).peer_ack_timeout in
+  if timeout <= 0 then Sim.Ivar.await iv
+  else
+    match Sim.Ivar.await_timeout iv ~timeout with
+    | Some r -> r
+    | None ->
+      Obs.Metrics.incr ctrl.cm.cm_place_timeouts;
+      journal ctrl Obs.Journal.Warn "ctrl.place_timeout" (fun () ->
+          Printf.sprintf "home=%d" home.ctrl_id);
+      Error Error.Timeout
+
+(* ------------------------------------------------------------------ *)
 (* Syscall handlers                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1044,16 +1191,28 @@ let sys_mem_create ctrl ~caller buf ~off ~len perms (reply : int reply) =
   | Ok space ->
     if off < 0 || len < 0 || off + len > Membuf.size buf then
       reply_to ctrl reply (Error Error.Bounds)
-    else begin
-      let addr =
-        Objects.add_memory ctrl
-          { m_buf = buf; m_off = off; m_len = len; m_perms = perms;
-            m_owner = caller }
-      in
-      reply_to ctrl reply
-        (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Mint
-           ~audit_detail:(fun () -> "memory perms=" ^ Perms.to_string perms))
-    end
+    else (
+      match shard_home ctrl with
+      | Some home -> (
+        match
+          place_remote ctrl home ~size:Wire.peer_fixed (fun rr ->
+              P_place_mem { buf; off; len; perms; owner = caller; reply = rr })
+        with
+        | Error e -> reply_to ctrl reply (Error e)
+        | Ok addr ->
+          (* the home audited the Mint; this side only gains a capability *)
+          reply_to ctrl reply
+            (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Delegate
+               ~audit_detail:(fun () -> "shard placement")))
+      | None ->
+        let addr =
+          Objects.add_memory ctrl
+            { m_buf = buf; m_off = off; m_len = len; m_perms = perms;
+              m_owner = caller }
+        in
+        reply_to ctrl reply
+          (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Mint
+             ~audit_detail:(fun () -> "memory perms=" ^ Perms.to_string perms)))
 
 let sys_mem_diminish ctrl ~caller cid ~off ~len ~drop (reply : int reply) =
   match charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid with
@@ -1135,8 +1294,13 @@ let sys_mem_copy ctrl ~caller ~src ~dst (reply : unit reply) =
        Sim.Engine.spawn (fun () ->
            do_copy_pull ctrl ~src:src_e.e_addr ~dst:dst_e.e_addr rr)
      else
-       match peer_of_addr ctrl src_e.e_addr with
+       match locate ctrl src_e.e_addr with
        | None -> Sim.Ivar.fill rr_iv (Error Error.Ctrl_unreachable)
+       | Some owner when owner == ctrl ->
+         (* failover successor of the source's minter: pull locally; the
+            source lookup answers the foreign address with typed Stale *)
+         Sim.Engine.spawn (fun () ->
+             do_copy_pull ctrl ~src:src_e.e_addr ~dst:dst_e.e_addr rr)
        | Some peer ->
          charge ctrl [ (Net.Cost.Serialize, 1) ];
          send_peer ctrl peer ~size:Wire.peer_fixed
@@ -1175,22 +1339,41 @@ let sys_req_derive ctrl ~caller ~parent ~imms ~caps (reply : int reply) =
   | Ok space, Ok parent_entry -> (
     match resolve_cap_args ctrl caller caps with
     | Error e -> reply_to ctrl reply (Error e)
-    | Ok cap_args ->
-      let addr =
-        Objects.add_request ctrl
-          {
-            r_provider = caller (* unused on derived requests *);
-            r_tag = "";
-            r_imms = imms;
-            r_caps = cap_args;
-            r_parent = Some parent_entry.e_addr;
-          }
-      in
-      reply_to ctrl reply
-        (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Mint
-           ~audit_detail:(fun () ->
-             Printf.sprintf "request derive parent_oid=%d"
-               parent_entry.e_addr.a_oid)))
+    | Ok cap_args -> (
+      match shard_home ctrl with
+      | Some home -> (
+        match
+          place_remote ctrl home ~size:Wire.peer_fixed (fun rr ->
+              P_place_req
+                {
+                  provider = caller;
+                  imms;
+                  caps = cap_args;
+                  parent = parent_entry.e_addr;
+                  reply = rr;
+                })
+        with
+        | Error e -> reply_to ctrl reply (Error e)
+        | Ok addr ->
+          reply_to ctrl reply
+            (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Delegate
+               ~audit_detail:(fun () -> "shard placement")))
+      | None ->
+        let addr =
+          Objects.add_request ctrl
+            {
+              r_provider = caller (* unused on derived requests *);
+              r_tag = "";
+              r_imms = imms;
+              r_caps = cap_args;
+              r_parent = Some parent_entry.e_addr;
+            }
+        in
+        reply_to ctrl reply
+          (insert_cap ctrl space addr ~counts:None ~op:Obs.Audit.Mint
+             ~audit_detail:(fun () ->
+               Printf.sprintf "request derive parent_oid=%d"
+                 parent_entry.e_addr.a_oid))))
 
 let sys_req_invoke ctrl ~caller cid (reply : unit reply) =
   match charged_resolve1 ctrl caller ~base:[ (Net.Cost.Msg, 1) ] cid with
@@ -1201,8 +1384,13 @@ let sys_req_invoke ctrl ~caller cid (reply : unit reply) =
     (if entry.e_addr.a_ctrl = ctrl.ctrl_id then
        Sim.Engine.spawn (fun () -> do_invoke ctrl entry.e_addr [] [] (Some rr))
      else
-       match peer_of_addr ctrl entry.e_addr with
+       match locate ctrl entry.e_addr with
        | None -> Sim.Ivar.fill rr_iv (Error Error.Ctrl_unreachable)
+       | Some owner when owner == ctrl ->
+         (* failover successor of the minter: run the chain here (the
+            lookup answers a foreign address with typed Stale) *)
+         Sim.Engine.spawn (fun () ->
+             do_invoke ctrl entry.e_addr [] [] (Some rr))
        | Some peer ->
          charge ctrl [ (Net.Cost.Serialize, 1) ];
          send_peer ctrl peer
@@ -1549,6 +1737,33 @@ let dispatch_peer ctrl msg =
       (* session already retired (all chunks posted): late credits are
          dropped; the source settled the inflight gauge at retirement *)
       ())
+  | P_place_mem { buf; off; len; perms; owner; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
+    let addr =
+      Objects.add_memory ctrl
+        { m_buf = buf; m_off = off; m_len = len; m_perms = perms;
+          m_owner = owner }
+    in
+    Obs.Metrics.incr ctrl.cm.cm_shard_placed;
+    (* the home records the Mint, so live-object accounting balances
+       even when the address reply below is dropped by fault injection *)
+    audit ctrl Obs.Audit.Mint ~detail:(fun () -> "shard placement") addr;
+    rreply_to ctrl reply (Ok addr)
+  | P_place_req { provider; imms; caps; parent; reply } ->
+    charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Serialize, 1) ];
+    let addr =
+      Objects.add_request ctrl
+        {
+          r_provider = provider (* unused on derived requests *);
+          r_tag = "";
+          r_imms = imms;
+          r_caps = caps;
+          r_parent = Some parent;
+        }
+    in
+    Obs.Metrics.incr ctrl.cm.cm_shard_placed;
+    audit ctrl Obs.Audit.Mint ~detail:(fun () -> "shard placement") addr;
+    rreply_to ctrl reply (Ok addr)
 
 let peer_name = function
   | P_invoke _ -> "invoke"
@@ -1566,6 +1781,8 @@ let peer_name = function
   | P_copy_open _ -> "copy_open"
   | P_copy_chunk _ -> "copy_chunk"
   | P_copy_credit _ -> "copy_credit"
+  | P_place_mem _ -> "place_mem"
+  | P_place_req _ -> "place_req"
 
 let handle_peer ctrl msg =
   Obs.Metrics.incr ctrl.cm.cm_peer_msgs;
@@ -1595,6 +1812,8 @@ let reject_peer msg =
     | Some rr -> kill rr
     | None -> ())
   | P_copy_credit _ -> ()
+  | P_place_mem { reply; _ } -> kill reply
+  | P_place_req { reply; _ } -> kill reply
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -1633,6 +1852,11 @@ let create fabric ~node =
       copy_pending = Hashtbl.create 8;
       copy_credits = Hashtbl.create 8;
       cap_gen = 0;
+      shard = None;
+      shard_slot = -1;
+      dir_cache = Hashtbl.create 8;
+      dir_gen = 0;
+      place_seq = 0;
       cm =
         {
           cm_captable = Obs.Metrics.gauge ~node:nn "ctrl.captable";
@@ -1650,6 +1874,17 @@ let create fabric ~node =
           cm_copy_bytes = Obs.Metrics.counter ~node:nn "ctrl.copy_bytes";
           cm_copy_inflight = Obs.Metrics.gauge ~node:nn "ctrl.copy_inflight";
           cm_copy_orphans = Obs.Metrics.counter ~node:nn "ctrl.copy_orphans";
+          cm_dir_hits = Obs.Metrics.counter ~node:nn "ctrl.dir_hits";
+          cm_dir_misses = Obs.Metrics.counter ~node:nn "ctrl.dir_misses";
+          cm_dir_invalidations =
+            Obs.Metrics.counter ~node:nn "ctrl.dir_invalidations";
+          cm_shard_placed = Obs.Metrics.counter ~node:nn "ctrl.shard_placed";
+          cm_shard_reroutes =
+            Obs.Metrics.counter ~node:nn "ctrl.shard_reroutes";
+          cm_handoff_rejects =
+            Obs.Metrics.counter ~node:nn "ctrl.handoff_rejects";
+          cm_place_timeouts =
+            Obs.Metrics.counter ~node:nn "ctrl.place_timeouts";
         };
     }
   in
@@ -1661,6 +1896,45 @@ let connect ctrls =
     (fun c ->
       c.peers <- List.filter (fun o -> o.ctrl_id <> c.ctrl_id) ctrls)
     ctrls
+
+(* Connect [ctrls] into one sharded capability space: full peer mesh plus
+   a shared shard group (slots sorted by controller id so every member —
+   and every run — agrees on the slot numbering). *)
+let connect_shards ctrls =
+  connect ctrls;
+  let slots =
+    Array.of_list
+      (List.sort (fun a b -> compare a.ctrl_id b.ctrl_id) ctrls)
+  in
+  let group =
+    {
+      sg_slots = slots;
+      sg_live = Array.map (fun c -> c.running) slots;
+      sg_gen = 0;
+    }
+  in
+  Array.iteri
+    (fun i c ->
+      c.shard <- Some group;
+      c.shard_slot <- i;
+      Hashtbl.reset c.dir_cache;
+      c.dir_gen <- 0)
+    slots
+
+(* Record a liveness flip in the group's authoritative bitmap and move
+   the generation, invalidating every member's directory cache on its
+   next lookup. *)
+let shard_mark ctrl live =
+  match ctrl.shard with
+  | None -> ()
+  | Some g ->
+    if ctrl.shard_slot >= 0 && g.sg_live.(ctrl.shard_slot) <> live then begin
+      g.sg_live.(ctrl.shard_slot) <- live;
+      g.sg_gen <- g.sg_gen + 1;
+      journal ctrl Obs.Journal.Info "ctrl.shard_gen" (fun () ->
+          Printf.sprintf "slot=%d live=%b gen=%d" ctrl.shard_slot live
+            g.sg_gen)
+    end
 
 (* Message-loop skeleton shared by the syscall and peer endpoints. One
    blocking [recv] wakes the loop (paying the doorbell charge, if the
@@ -1766,6 +2040,7 @@ let fail ctrl =
   journal ctrl Obs.Journal.Error "ctrl.crash" (fun () ->
       Printf.sprintf "epoch=%d" ctrl.epoch);
   ctrl.running <- false;
+  shard_mark ctrl false;
   Hashtbl.iter (fun _ p -> p.alive <- false) ctrl.procs
 
 let restart ctrl =
@@ -1785,6 +2060,14 @@ let restart ctrl =
   (* reboot invalidates every outstanding translation memo (the epoch
      bump already invalidates the capabilities themselves) *)
   memo_invalidate ctrl;
+  (* rejoin the shard group (moves sg_gen: every member's directory
+     forgets the failover routes) and restart our own directory cold *)
+  shard_mark ctrl true;
+  Hashtbl.reset ctrl.dir_cache;
+  (match ctrl.shard with
+  | Some g -> ctrl.dir_gen <- g.sg_gen
+  | None -> ());
+  ctrl.place_seq <- 0;
   (* the tables were reset wholesale: re-zero the incremental gauges *)
   Obs.Metrics.set (g_captable ctrl) 0;
   Obs.Metrics.set (g_revtree ctrl) 0
@@ -1796,6 +2079,40 @@ let copy_failures_count ctrl = Hashtbl.length ctrl.copy_failures
 let is_running ctrl = ctrl.running
 let epoch ctrl = ctrl.epoch
 let id ctrl = ctrl.ctrl_id
+let shard_slot ctrl = ctrl.shard_slot
+let shard_gen ctrl = match ctrl.shard with Some g -> g.sg_gen | None -> -1
+let dir_cache_size ctrl = Hashtbl.length ctrl.dir_cache
+
+(* Directory-coherence check (Fault.Invariants pass 6): every entry of a
+   current-generation directory cache must name exactly the owner the
+   shard map computes, and that owner must be running. A cache stamped
+   with an older generation makes no claims — it is reset wholesale on
+   its next use — so it is vacuously coherent; reporting it would flag
+   every crash as a violation. *)
+let dir_incoherences ctrl =
+  match ctrl.shard with
+  | None -> []
+  | Some g ->
+    if ctrl.dir_gen <> g.sg_gen then []
+    else
+      Hashtbl.fold
+        (fun minting owner acc ->
+          let expect = shard_owner_id g minting in
+          let owner_running =
+            match peer_of_id ctrl owner with
+            | Some c -> c.running
+            | None -> false
+          in
+          if expect = Some owner && owner_running then acc
+          else
+            Printf.sprintf
+              "ctrl %d: orphaned directory entry %d->%d (shard map says %s)"
+              ctrl.ctrl_id minting owner
+              (match expect with
+              | Some o -> string_of_int o
+              | None -> "unroutable")
+            :: acc)
+        ctrl.dir_cache []
 
 (* Reset the module-global id counters so two in-process simulation runs
    (e.g. back-to-back chaos runs compared for bit-determinism) mint

@@ -28,6 +28,16 @@ val connect : t list -> unit
 (** Make every Controller in the list a peer of every other (used for the
     revocation cleanup broadcast and address routing). Idempotent. *)
 
+val connect_shards : t list -> unit
+(** {!connect}, plus: form the listed Controllers into one sharded
+    capability space. Slots are ordered by controller id, so every member
+    (and every run) agrees on the slot numbering. Each member routes
+    addresses through the shared shard map — a crashed member's addresses
+    route to its first live successor on the probe ring, which answers
+    them with typed [Stale] (owner-side metadata handoff = the staleness
+    discipline). With {!Net.Config.shard_placement} set, fresh Memory
+    objects and derived Requests are scattered across the group. *)
+
 val start : t -> unit
 (** Spawn the service loops. Must run inside {!Fractos_sim.Engine.run}. *)
 
@@ -84,6 +94,23 @@ val copy_failures_count : t -> int
 
 val epoch : t -> int
 (** Current epoch; bumped by every {!restart}. *)
+
+val shard_slot : t -> int
+(** This controller's slot in its shard group, or [-1] when unsharded. *)
+
+val shard_gen : t -> int
+(** The shard group's liveness generation (bumped by every member crash
+    and reboot), or [-1] when unsharded. *)
+
+val dir_cache_size : t -> int
+(** Entries currently memoized in this controller's directory cache. *)
+
+val dir_incoherences : t -> string list
+(** Directory-coherence violations (Fault.Invariants pass 6): entries of
+    a current-generation directory cache that disagree with the shard
+    map, or that name a non-running owner. Caches stamped with an older
+    generation are vacuously coherent (they reset wholesale on next
+    use). Empty when unsharded. *)
 
 val id : t -> int
 (** The controller id stamped into its objects' addresses ([a_ctrl]). *)

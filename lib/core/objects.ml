@@ -51,8 +51,22 @@ let add_indirect ctrl ~parent =
 
 let find ctrl addr =
   if not ctrl.running then Error Error.Ctrl_unreachable
-  else if addr.a_ctrl <> ctrl.ctrl_id then
-    Error (Error.Bad_argument "address not owned by this controller")
+  else if addr.a_ctrl <> ctrl.ctrl_id then (
+    match ctrl.shard with
+    | Some _ ->
+      (* Shard failover routed a dead minter's address here (we are its
+         live successor). The owner-side metadata handoff is the
+         staleness discipline itself: the minter's objects died with it,
+         so the capability is rejected typed — exactly a reboot's
+         stale-epoch path, and Fault.Retry's refresh hook recovers. *)
+      Obs.Metrics.incr ctrl.cm.cm_handoff_rejects;
+      Obs.Audit.record ~node:ctrl.cnode.Net.Node.name
+        ~kind:Obs.Audit.Stale_reject ~ctrl:addr.a_ctrl ~epoch:addr.a_epoch
+        ~oid:addr.a_oid
+        ~detail:(Printf.sprintf "handoff successor=%d" ctrl.ctrl_id)
+        ();
+      Error Error.Stale
+    | None -> Error (Error.Bad_argument "address not owned by this controller"))
   else if addr.a_epoch <> ctrl.epoch then begin
     (* stale-epoch rejection: the capability predates this controller's
        restart — the audit log records the attempted use *)

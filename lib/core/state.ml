@@ -81,7 +81,30 @@ and ctrl = {
       (* capability generation: bumped by every entry removal (revoke,
          cleanup, process death) and by reboot; stamps the per-capspace
          translation memos, invalidating them wholesale *)
+  mutable shard : shard_group option;
+      (* set by Controller.connect_shards: this controller is one slot of
+         a sharded capability space *)
+  mutable shard_slot : int; (* index into sg_slots; -1 when unsharded *)
+  dir_cache : (int, int) Hashtbl.t;
+      (* directory memo: minting controller id -> live owner controller
+         id, valid only while dir_gen = the group's sg_gen (the
+         translation-cache discipline applied to owner routing) *)
+  mutable dir_gen : int;
+  mutable place_seq : int;
+      (* per-controller placement sequence: the deterministic shard-map
+         key of the next object minted under Config.shard_placement *)
   cm : ctrl_metrics;
+}
+
+(* One sharded capability space: the slots (sorted by controller id) and
+   the authoritative liveness bitmap, shared by every member. [sg_gen]
+   moves on every liveness change (crash, reboot) and stamps each
+   member's directory cache — a stale cached owner is unreachable by
+   construction, exactly like a stale translation memo. *)
+and shard_group = {
+  sg_slots : ctrl array;
+  sg_live : bool array;
+  mutable sg_gen : int;
 }
 
 (* Controller-side hot-path instruments ("ctrl.*" keyed by the
@@ -104,6 +127,19 @@ and ctrl_metrics = {
       (* chunks posted but not yet credited back (pipelined engine) *)
   cm_copy_orphans : Obs.Metrics.counter;
       (* copy_pending/copy_failures entries reclaimed by the open timeout *)
+  cm_dir_hits : Obs.Metrics.counter; (* directory-cache hits *)
+  cm_dir_misses : Obs.Metrics.counter; (* priced directory resolutions *)
+  cm_dir_invalidations : Obs.Metrics.counter;
+      (* wholesale directory-cache resets on sg_gen mismatch *)
+  cm_shard_placed : Obs.Metrics.counter;
+      (* objects minted here on behalf of a remote caller (placement) *)
+  cm_shard_reroutes : Obs.Metrics.counter;
+      (* lookups whose owner differs from the minting controller *)
+  cm_handoff_rejects : Obs.Metrics.counter;
+      (* foreign addresses reaching a successor's object table: typed
+         Stale, the shard-failover analogue of an epoch mismatch *)
+  cm_place_timeouts : Obs.Metrics.counter;
+      (* P_place_* acks that never came back within peer_ack_timeout *)
 }
 
 and capspace = {
@@ -276,6 +312,29 @@ and peer_msg =
       (* Flow control for the windowed copy engine: the destination grants
          credits as its writer drains bounce-buffer slots; the source may
          keep at most Config.copy_window uncredited chunks in flight. *)
+  | P_place_mem of {
+      buf : Membuf.t;
+      off : int;
+      len : int;
+      perms : Perms.t;
+      owner : proc;
+      reply : addr rreply;
+    }
+      (* Shard placement (Config.shard_placement): mint a Memory object at
+         the shard-map home and reply its address; the caller then inserts
+         a capability into its local capspace. The home audits the Mint so
+         live-object accounting balances even if the reply is dropped. *)
+  | P_place_req of {
+      provider : proc;
+      imms : Args.imm list;
+      caps : (addr * bool) list;
+      parent : addr;
+      reply : addr rreply;
+    }
+      (* Shard placement of a derived Request. Only derivations shard:
+         roots stay pinned to their provider's controller (delivery needs
+         the provider's capspace locally) and revocation-tree children
+         stay on their parent's (the tree uses controller-local oids). *)
 
 and copy_chunk = {
   ck_off : int;

@@ -5,19 +5,21 @@ module Fs = Fractos_services.Fs
 module Faceverify = Fractos_services.Faceverify
 module Facedata = Fractos_workloads.Facedata
 
-type workload = Faceverify | Fs | Mixed | Copy
+type workload = Faceverify | Fs | Mixed | Copy | Xshard
 
 let workload_to_string = function
   | Faceverify -> "faceverify"
   | Fs -> "fs"
   | Mixed -> "mixed"
   | Copy -> "copy"
+  | Xshard -> "xshard"
 
 let workload_of_string = function
   | "faceverify" -> Some Faceverify
   | "fs" -> Some Fs
   | "mixed" -> Some Mixed
   | "copy" -> Some Copy
+  | "xshard" -> Some Xshard
   | _ -> None
 
 type sampling_summary = {
@@ -112,13 +114,23 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
   let end_time = ref 0 in
   let is_fs_client k =
     match workload with
-    | Faceverify | Copy -> false
+    | Faceverify | Copy | Xshard -> false
     | Fs -> true
     | Mixed -> k mod 2 = 1
+  in
+  (* The cross-shard workload runs on a sharded capability space with
+     placement enabled, so fresh Memory objects and derived Requests
+     scatter across the group. *)
+  let config =
+    match (workload, config) with
+    | Xshard, None -> Some { Net.Config.default with shard_placement = true }
+    | Xshard, Some c -> Some { c with Net.Config.shard_placement = true }
+    | _ -> config
   in
   (try
      Tb.run ?config (fun tb ->
          let cl = Cluster.make ~extent_size:(n_images * img_size) tb in
+         if workload = Xshard then Tb.shard_all tb;
          let app = cl.Cluster.app in
          let proc = Svc.proc app in
          (* Fault-free setup phase: database, pipeline, per-client files. *)
@@ -197,6 +209,54 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
                      (Core.Api.memory_create peer dst_buf Core.Perms.rw)
                  in
                  let dst_cap = Tb.grant ~src:peer ~dst:proc dst_rw in
+                 (src_cap, dst_cap, dst_buf, pattern))
+           end
+         in
+         (* Cross-shard workload: third-party copies where the caller, the
+            source object and the destination object live behind three
+            different shards of one sharded capability space (the source
+            owner sits behind the storage controller, the destination owner
+            behind the GPU controller, the caller behind the app
+            controller), interleaved with the faceverify pipeline whose
+            derived Requests scatter under shard placement. *)
+         let xshard_clients =
+           if workload <> Xshard then [||]
+           else begin
+             let ctrl_on node =
+               List.find
+                 (fun c -> Net.Node.same_machine Core.State.(c.cnode) node)
+                 tb.Tb.ctrls
+             in
+             let xsrc =
+               Tb.add_proc tb ~on:cl.Cluster.storage_node
+                 ~ctrl:(ctrl_on cl.Cluster.storage_node) "xsrc"
+             in
+             let xdst =
+               Tb.add_proc tb ~on:cl.Cluster.gpu_node
+                 ~ctrl:(ctrl_on cl.Cluster.gpu_node) "xdst"
+             in
+             Array.init clients (fun k ->
+                 let pattern =
+                   Bytes.init copy_len (fun i ->
+                       Char.chr ((k * 53 + i) land 0xff))
+                 in
+                 let src_buf =
+                   Core.Membuf.create ~node:cl.Cluster.storage_node copy_len
+                 in
+                 Core.Membuf.write src_buf ~off:0 pattern;
+                 let dst_buf =
+                   Core.Membuf.create ~node:cl.Cluster.gpu_node copy_len
+                 in
+                 let src_ro =
+                   Core.Error.ok_exn
+                     (Core.Api.memory_create xsrc src_buf Core.Perms.ro)
+                 in
+                 let dst_rw =
+                   Core.Error.ok_exn
+                     (Core.Api.memory_create xdst dst_buf Core.Perms.rw)
+                 in
+                 let src_cap = Tb.grant ~src:xsrc ~dst:proc src_ro in
+                 let dst_cap = Tb.grant ~src:xdst ~dst:proc dst_rw in
                  (src_cap, dst_cap, dst_buf, pattern))
            end
          in
@@ -283,6 +343,20 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
                    Ok ()
                | Error _ as e -> e)
          in
+         let do_xcopy k idx =
+           let src_cap, dst_cap, dst_buf, pattern = xshard_clients.(k) in
+           Retry.run ~policy
+             ~refresh:(fun _e -> ())
+             (fun () ->
+               match Core.Api.memory_copy proc ~src:src_cap ~dst:dst_cap with
+               | Ok () ->
+                   let got = Core.Membuf.read dst_buf ~off:0 ~len:copy_len in
+                   if not (Bytes.equal got pattern) then
+                     viol "request %d: cross-shard copy completed with \
+                           corrupt bytes" idx;
+                   Ok ()
+               | Error _ as e -> e)
+         in
          (* Drive the clients. *)
          let master = Sim.Prng.create ~seed:(seed lxor 0x107a05) in
          let rngs = Array.init clients (fun _ -> Sim.Prng.split master) in
@@ -298,6 +372,8 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
            let dispatch () =
              match workload with
              | Copy -> do_copy k i
+             | Xshard ->
+                 if k land 1 = 1 then do_xcopy k i else do_fv rngs.(k) i
              | Faceverify | Fs | Mixed ->
                  if is_fs_client k then do_fs k rngs.(k) i
                  else do_fv rngs.(k) i

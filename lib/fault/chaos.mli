@@ -23,6 +23,15 @@ type workload =
           from the app node to a destination behind the storage controller,
           with post-completion byte-equality checking — exercises the copy
           engine's session, credit and reorder paths under faults. *)
+  | Xshard
+      (** Cross-shard battery: the cluster's controllers are formed into
+          one sharded capability space ({!Fractos_testbed.Testbed.shard_all})
+          with {!Net.Config.shard_placement} forced on. Odd clients issue
+          third-party copies whose caller, source object and destination
+          object live behind three different shards; even clients drive the
+          faceverify pipeline, whose derived Requests scatter under
+          placement. Invariants pass 6 (directory coherence) then proves no
+          orphaned directory entries survive the fault plan. *)
 
 val workload_to_string : workload -> string
 val workload_of_string : string -> workload option

@@ -124,4 +124,16 @@ let check ~ctrls ~plan ~install_time () =
         add "ctrl %d leaked %d parked copy failure(s) after quiescence"
           (Core.Controller.id c) failures)
     ctrl_arr;
+  (* Pass 6: directory coherence. In a sharded capability space every
+     current-generation directory cache must agree with the shard map and
+     name only running owners — an orphaned entry would route requests to a
+     dead shard forever. Caches stamped with an older generation are
+     vacuously coherent (they reset wholesale on next use); unsharded runs
+     report nothing. *)
+  Array.iter
+    (fun c ->
+      List.iter
+        (fun v -> add "%s" v)
+        (Core.Controller.dir_incoherences c))
+    ctrl_arr;
   List.rev !violations

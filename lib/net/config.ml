@@ -43,6 +43,24 @@ type t = {
   ctrl_queue_bound : int;
   translation_cache : bool;
   peer_ack_timeout : Sim.Time.t;
+  (* Sharded capability spaces (Controller.connect_shards): placement of
+     fresh objects across the shard group, and the per-controller
+     directory cache that memoizes owner routing. All four knobs are
+     inert until a shard group exists — a lone controller (or plain
+     Controller.connect) behaves bit-identically to the pre-shard
+     code. *)
+  shard_placement : bool;
+      (* scatter fresh Memory / derived-Request objects across the group
+         by the deterministic shard map (root Requests stay pinned to
+         their provider's controller: delivery locality; diminish and
+         revtree children stay on their parent's controller: revocation
+         trees use controller-local oids) *)
+  shard_dir_cache : bool;
+      (* memoize directory lookups (minting controller -> live owner),
+         invalidated wholesale whenever the group's liveness generation
+         moves — the translation-cache discipline applied to routing *)
+  dir_cache_cap : int; (* directory-cache entry bound (reset when full) *)
+  shard_seed : int; (* placement-hash seed (deterministic, not secret) *)
   (* What-if (causal-profiler) hooks: each factor virtually scales one
      component's service time — the Coz virtual-speedup idea made exact
      by the simulator. 1.0 is bit-identical to the calibrated model (the
@@ -101,6 +119,10 @@ let default =
     ctrl_queue_bound = 0;
     translation_cache = false;
     peer_ack_timeout = Sim.Time.ms 2;
+    shard_placement = false;
+    shard_dir_cache = true;
+    dir_cache_cap = 1024;
+    shard_seed = 7;
     scale_ctrl = 1.0;
     scale_fabric = 1.0;
     scale_device = 1.0;
@@ -137,6 +159,11 @@ let validate t =
   pos "bounce_chunk" t.bounce_chunk;
   pos "copy_window" t.copy_window;
   pos "copy_streams" t.copy_streams;
+  pos "dir_cache_cap" t.dir_cache_cap;
+  if t.shard_seed < 0 then
+    invalid_arg
+      (Printf.sprintf "Net.Config: shard_seed must be non-negative (got %d)"
+         t.shard_seed);
   let posf name v =
     if not (v > 0.) then
       invalid_arg

@@ -182,6 +182,30 @@ type t = {
           arrive in time (crash mid-delegation, partition, message loss)
           the insertion proceeds best-effort instead of blocking forever.
           0 = wait without bound. *)
+  (* -------- sharded capability spaces -------- *)
+  shard_placement : bool;
+      (** When the deployment forms a shard group
+          ([Controller.connect_shards]), scatter fresh Memory objects and
+          derived Requests across the group by the deterministic shard
+          map. Root Requests stay pinned to their provider's controller
+          (delivery needs the provider's capspace locally); diminish and
+          revtree children stay on their parent's controller (revocation
+          trees use controller-local oids). Inert without a shard group.
+          Default false. *)
+  shard_dir_cache : bool;
+      (** Memoize directory lookups (minting controller -> live owner)
+          per controller, invalidated wholesale whenever the group's
+          liveness generation moves (crash or reboot of any member) —
+          the {!translation_cache} discipline applied to owner routing.
+          A hit skips the priced directory walk. Default true. *)
+  dir_cache_cap : int;
+      (** Directory-cache entry bound; the cache is reset wholesale when
+          full (groups are small, so this is a safety valve, not a
+          tuning knob). Default 1024. *)
+  shard_seed : int;
+      (** Seed of the deterministic placement hash. Not a secret — it
+          only decorrelates placement across deployments; two runs with
+          the same seed place identically (bit-determinism). *)
   (* -------- what-if (causal profiler) hooks -------- *)
   scale_ctrl : float;
       (** Virtually scale every controller service time (all cost classes,

@@ -4,7 +4,8 @@
    The benches are seed-deterministic, so their --tiny variants produce
    stable headline numbers suitable for an exact-ish CI gate: knee
    goodput for the loadcurve sweep, serial/pipelined bandwidth and
-   speedup for the copy path. All gated metrics are higher-is-better
+   speedup for the copy path, per-shard-count knee goodput for the
+   cluster scaling sweep. All gated metrics are higher-is-better
    throughputs; a run passes when every baseline metric is reproduced
    at >= (1 - tolerance) of its committed value. Improvements beyond
    the tolerance pass but are called out, nudging the baseline to be
@@ -55,10 +56,28 @@ let extract_copybw j =
     in
     all [] [ "serial_gbps"; "pipelined_gbps"; "speedup" ]
 
+let extract_cluster j =
+  match Option.bind (Json.member "points" j) Json.to_list with
+  | None -> Error "cluster JSON has no points array"
+  | Some points ->
+    Ok
+      (List.filter_map
+         (fun p ->
+           match
+             ( Json.number_at [ "shards" ] p,
+               Json.number_at [ "knee_goodput_rps" ] p )
+           with
+           | Some s, Some k ->
+             Some
+               (Printf.sprintf "knee_goodput_rps/shards-%d" (int_of_float s), k)
+           | _ -> None)
+         points)
+
 let extract j =
   match Json.string_at [ "experiment" ] j with
   | Some "loadcurve" -> extract_loadcurve j
   | Some "copybw" -> extract_copybw j
+  | Some "cluster" -> extract_cluster j
   | Some other -> Error ("unknown experiment kind " ^ other)
   | None -> Error "JSON has no \"experiment\" field"
 

@@ -3,7 +3,8 @@
     The benches are seed-deterministic, so their [--tiny] variants
     yield stable headline numbers suitable for a CI gate: knee goodput
     per variant from [BENCH_loadcurve.json], and headline
-    serial/pipelined bandwidth plus speedup from [BENCH_copybw.json].
+    serial/pipelined bandwidth plus speedup from [BENCH_copybw.json],
+    and per-shard-count knee goodput from [BENCH_cluster.json].
     All gated metrics are higher-is-better; a fresh run passes when
     every baseline metric reaches [>= (1 - tolerance)] of its committed
     value. Improvements beyond [+tolerance] still pass but are called
@@ -14,7 +15,7 @@ val default_tolerance : float
 
 val extract : Json.t -> ((string * float) list, string) result
 (** Pull the gated metrics out of a bench JSON, dispatching on its
-    ["experiment"] field ([loadcurve] or [copybw]). *)
+    ["experiment"] field ([loadcurve], [copybw] or [cluster]). *)
 
 val metrics_of_baseline : Json.t -> ((string * float) list, string) result
 (** A baseline is either an {!emit_string}-produced digest (read from

@@ -17,6 +17,11 @@ let register_ctrl t ctrl =
 
 let add_ctrl t ~on = register_ctrl t (Core.Controller.create t.fabric ~node:on)
 
+(* Promote every controller registered so far into one sharded capability
+   space (full mesh + shared shard group). Call after the last add_ctrl:
+   controllers registered later would rejoin the flat mesh only. *)
+let shard_all t = Core.Controller.connect_shards t.ctrls
+
 let add_snic_ctrl t ~host =
   let snic =
     Net.Fabric.add_node t.fabric ~attached_to:host

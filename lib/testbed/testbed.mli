@@ -32,6 +32,12 @@ val add_ctrl : t -> on:Net.Node.t -> Core.Controller.t
 val add_snic_ctrl : t -> host:Net.Node.t -> Core.Controller.t
 (** Add a SmartNIC node attached to [host] and start a Controller on it. *)
 
+val shard_all : t -> unit
+(** Promote every Controller registered so far into one sharded
+    capability space ([Core.Controller.connect_shards]). Call after the
+    last [add_ctrl]: controllers registered later rejoin the flat mesh
+    only. *)
+
 val add_proc :
   t -> on:Net.Node.t -> ctrl:Core.Controller.t -> string -> Core.Process.t
 (** Create a Process on [on] attached to [ctrl]. *)

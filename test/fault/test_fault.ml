@@ -452,7 +452,7 @@ let test_chaos_crash_epoch_bump () =
         true (Chaos.passed r);
       check_bool "some controller rebooted" true
         (List.exists (fun (_, epoch, _, _) -> epoch = 1) r.Chaos.r_ctrls))
-    [ Chaos.Faceverify; Chaos.Fs; Chaos.Mixed; Chaos.Copy ]
+    [ Chaos.Faceverify; Chaos.Fs; Chaos.Mixed; Chaos.Copy; Chaos.Xshard ]
 
 let test_chaos_copy_workload () =
   (* large third-party copies under drop/dup/delay: every request must end
@@ -539,6 +539,49 @@ let test_copy_open_drop_cleanup () =
             (Core.Controller.copy_failures_count c))
         tb.Tb.ctrls)
 
+(* Cross-shard battery: the Xshard workload forces shard placement and
+   shard_all, drives odd clients through three-shard third-party copies
+   (caller, source owner and destination owner on three different
+   shards) and even clients through faceverify. A clean run must
+   complete every request and pass every invariant — pass 6 proves no
+   directory entry was orphaned. *)
+let test_chaos_xshard_clean () =
+  let r = small_chaos ~workload:Chaos.Xshard 1 in
+  check_bool
+    (String.concat "; " r.Chaos.r_violations)
+    true (Chaos.passed r);
+  check_int "all requests ok" 8 r.Chaos.r_ok;
+  check_bool "sharded cluster has several controllers" true
+    (List.length r.Chaos.r_ctrls > 1)
+
+let test_chaos_xshard_under_faults () =
+  (* under the default fault spec every request must still end in a
+     typed completion, with the invariants (including directory
+     coherence) intact *)
+  let r = small_chaos ~spec:Spec.default ~workload:Chaos.Xshard 3 in
+  check_bool
+    (String.concat "; " r.Chaos.r_violations)
+    true (Chaos.passed r);
+  let errs = List.fold_left (fun n (_, c) -> n + c) 0 r.Chaos.r_errors in
+  check_int "ok + errors = requests" r.Chaos.r_requests (r.Chaos.r_ok + errs)
+
+let test_chaos_xshard_deterministic () =
+  (* same seed, same digest — shard routing, directory invalidation and
+     cross-shard copies included *)
+  let spec =
+    match Spec.of_string "drop=0.01,dup=0.01,crash=1,reboot=400us" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let a = small_chaos ~spec ~workload:Chaos.Xshard 7 in
+  let b = small_chaos ~spec ~workload:Chaos.Xshard 7 in
+  check_string "same audit digest" a.Chaos.r_audit_digest
+    b.Chaos.r_audit_digest;
+  check_bool "bit-identical report" true (Chaos.to_lines a = Chaos.to_lines b);
+  let c = small_chaos ~spec ~workload:Chaos.Xshard 8 in
+  check_bool "different seed, different digest" true
+    (a.Chaos.r_audit_digest <> c.Chaos.r_audit_digest)
+
 let test_chaos_report_shape () =
   let r = small_chaos 5 in
   let lines = Chaos.to_lines r in
@@ -604,5 +647,10 @@ let () =
             test_chaos_copy_deterministic;
           Alcotest.test_case "dropped open is reclaimed" `Quick
             test_copy_open_drop_cleanup;
+          Alcotest.test_case "xshard clean run" `Quick test_chaos_xshard_clean;
+          Alcotest.test_case "xshard under faults" `Quick
+            test_chaos_xshard_under_faults;
+          Alcotest.test_case "xshard deterministic" `Quick
+            test_chaos_xshard_deterministic;
         ] );
     ]
