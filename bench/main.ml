@@ -30,6 +30,7 @@ let experiments : (string * (unit -> unit)) list =
     (Exp_loadcurve.name, Exp_loadcurve.run);
     (Exp_copybw.name, Exp_copybw.run);
     (Exp_cluster.name, Exp_cluster.run);
+    (Exp_pd.name, Exp_pd.run);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -145,10 +146,14 @@ let () =
     | "--cluster-json" :: path :: rest ->
       Exp_cluster.json_path := path;
       extract_loadcurve acc rest
+    | "--pd-json" :: path :: rest ->
+      Exp_pd.json_path := path;
+      extract_loadcurve acc rest
     | "--tiny" :: rest ->
       Exp_loadcurve.tiny := true;
       Exp_copybw.tiny := true;
       Exp_cluster.tiny := true;
+      Exp_pd.tiny := true;
       extract_loadcurve acc rest
     | "--top" :: rest ->
       Exp_loadcurve.top := true;

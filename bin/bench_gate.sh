@@ -23,11 +23,13 @@ trap 'rm -rf "$tmp"' EXIT
 lc="$tmp/BENCH_loadcurve.json"
 cb="$tmp/BENCH_copybw.json"
 cl="$tmp/BENCH_cluster.json"
+pd="$tmp/BENCH_pd.json"
 
 echo "== bench-gate: producing fresh --tiny bench JSON"
 "$bench" loadcurve --tiny --no-bechamel --loadcurve-json "$lc" >/dev/null
 "$bench" copybw --tiny --no-bechamel --copybw-json "$cb" >/dev/null
 "$bench" cluster --tiny --no-bechamel --cluster-json "$cl" >/dev/null
+"$bench" pd --tiny --no-bechamel --pd-json "$pd" >/dev/null
 
 echo "== bench-gate: loadcurve vs $baselines/loadcurve_tiny.json"
 "$fractos" gate "$lc" --baseline "$baselines/loadcurve_tiny.json"
@@ -37,6 +39,9 @@ echo "== bench-gate: copybw vs $baselines/copybw_tiny.json"
 
 echo "== bench-gate: cluster vs $baselines/cluster_tiny.json"
 "$fractos" gate "$cl" --baseline "$baselines/cluster_tiny.json"
+
+echo "== bench-gate: pd vs $baselines/pd_tiny.json"
+"$fractos" gate "$pd" --baseline "$baselines/pd_tiny.json"
 
 echo "== bench-gate: negative self-test (inflated baseline must FAIL)"
 "$fractos" gate "$lc" --emit --scale 1.3 -o "$tmp/inflated.json"

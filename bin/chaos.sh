@@ -50,8 +50,26 @@ if ! cmp -s "$tmp/xshard1.txt" "$tmp/xagain.txt"; then
   exit 1
 fi
 
+echo "== chaos: 10 fixed seeds, prefill/decode disaggregation"
+for seed in 1 2 3 4 5 6 7 8 9 10; do
+  if ! "$fractos" chaos --seed "$seed" --workload pd \
+      > "$tmp/pd$seed.txt" 2>&1; then
+    echo "chaos pd seed $seed FAILED:"
+    cat "$tmp/pd$seed.txt"
+    exit 1
+  fi
+done
+
+echo "== chaos: pd determinism (seed 1 twice, byte-identical)"
+"$fractos" chaos --seed 1 --workload pd > "$tmp/pdagain.txt"
+if ! cmp -s "$tmp/pd1.txt" "$tmp/pdagain.txt"; then
+  echo "chaos pd run is not deterministic for seed 1:"
+  diff "$tmp/pd1.txt" "$tmp/pdagain.txt" || true
+  exit 1
+fi
+
 echo "== chaos: crash-heavy spec, per-workload"
-for wl in faceverify fs mixed copy xshard; do
+for wl in faceverify fs mixed copy xshard pd; do
   if ! "$fractos" chaos --seed 2 --workload "$wl" \
       --faults "crash=1,reboot=200us,horizon=500us" > "$tmp/$wl.txt" 2>&1
   then

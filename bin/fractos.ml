@@ -157,9 +157,78 @@ let placement_name = function
 
 (* ---------------- run ---------------------------------------------- *)
 
-let run_cmd placement batch requests seed trace trace_json metrics breakdown
-    audit openmetrics hist_csv journal journal_cap audit_cap slo top artifacts
-    =
+let run_workload =
+  Arg.(
+    value
+    & opt string "faceverify"
+    & info [ "workload" ] ~docv:"W"
+        ~doc:"Scenario to run: $(b,faceverify) (end-to-end face \
+              verification) or $(b,pd) (disaggregated prefill/decode \
+              inference with KV-state handoff between instances).")
+
+(* Disaggregated prefill/decode inference: the canonical cluster hosts
+   prefill instances on the GPU and storage controllers and decode
+   instances on the FS and GPU controllers; each seeded request runs
+   prompt pass -> third-party KV copy -> streamed decode, routed by the
+   configured policy, and reports time-to-first-token vs total latency. *)
+let run_pd_cmd placement requests seed =
+  let module Pd = Fractos_workloads.Pd in
+  Obs.Metrics.reset ();
+  Tb.run (fun tb ->
+      let c = Cluster.make ~placement tb in
+      let ctrl_on node =
+        List.find
+          (fun k -> Net.Node.same_machine Core.State.(k.cnode) node)
+          tb.Tb.ctrls
+      in
+      let setup node = { Tb.node; ctrl = ctrl_on node } in
+      let pool =
+        Pd.deploy tb
+          ~prefill:[ setup c.Cluster.gpu_node; setup c.Cluster.storage_node ]
+          ~decode:[ setup c.Cluster.fs_node; setup c.Cluster.gpu_node ]
+          ()
+      in
+      let client = Pd.attach pool c.Cluster.app in
+      let rng = Prng.create ~seed in
+      let cfg = Net.Fabric.config tb.Tb.fabric in
+      Format.printf
+        "prefill/decode disaggregation on FractOS: %d requests, 2 prefill + \
+         2 decode instances, policy %s@."
+        requests cfg.Net.Config.router_policy;
+      let ttfts = ref [] and totals = ref [] in
+      for r = 1 to requests do
+        let prefix = Prng.int rng 4 in
+        let prompt_len = 64 * (1 + Prng.int rng 4) in
+        let kv_len = 256 * prompt_len in
+        let iters = 2 + Prng.int rng 6 in
+        match
+          Pd.request client ~prefix ~prompt_len ~kv_len ~iters
+            ~timeout:(Time.ms 50) ()
+        with
+        | Ok o ->
+          ttfts := o.Pd.o_ttft :: !ttfts;
+          totals := o.Pd.o_latency :: !totals;
+          Format.printf
+            "  request %2d: prompt %4d  kv %8d B  iters %d  p%d->d%d  ttft \
+             %-10s total %s@."
+            r prompt_len kv_len iters o.Pd.o_prefill o.Pd.o_decode
+            (Time.to_string o.Pd.o_ttft)
+            (Time.to_string o.Pd.o_latency)
+        | Error e ->
+          Format.printf "  request %2d: error %s@." r (Core.Error.to_string e)
+      done;
+      let mean = function
+        | [] -> 0
+        | l -> List.fold_left ( + ) 0 l / List.length l
+      in
+      Format.printf "@.mean ttft %s  mean total %s  (%d/%d ok)@."
+        (Time.to_string (mean !ttfts))
+        (Time.to_string (mean !totals))
+        (List.length !totals) requests)
+
+let run_faceverify_cmd placement batch requests seed trace trace_json metrics
+    breakdown audit openmetrics hist_csv journal journal_cap audit_cap slo top
+    artifacts =
   let img_size = 4096 and n_images = 4096 in
   (* artifact capture needs the journal recording even when the user did
      not ask for the post-mortem dump *)
@@ -348,6 +417,19 @@ let run_cmd placement batch requests seed trace trace_json metrics breakdown
           recorder
       | None -> ())
 
+let run_cmd workload placement batch requests seed trace trace_json metrics
+    breakdown audit openmetrics hist_csv journal journal_cap audit_cap slo top
+    artifacts =
+  match workload with
+  | "pd" -> run_pd_cmd placement requests seed
+  | "faceverify" ->
+    run_faceverify_cmd placement batch requests seed trace trace_json metrics
+      breakdown audit openmetrics hist_csv journal journal_cap audit_cap slo
+      top artifacts
+  | w ->
+    Format.eprintf "fractos run: unknown workload %S (faceverify or pd)@." w;
+    exit 2
+
 (* ---------------- primitives --------------------------------------- *)
 
 let primitives_cmd placement =
@@ -502,8 +584,8 @@ let chaos_cmd seed faults workload clients requests journal journal_cap
     | Some w -> w
     | None ->
       Format.eprintf
-        "fractos chaos: unknown workload %S (faceverify, fs, mixed, copy or \
-         xshard)@."
+        "fractos chaos: unknown workload %S (faceverify, fs, mixed, copy, \
+         xshard or pd)@."
         workload;
       exit 2
   in
@@ -872,11 +954,15 @@ let gate_cmd fresh baseline tolerance emit scale out =
 
 let run_t =
   Cmd.v
-    (Cmd.info "run" ~doc:"Run the end-to-end face-verification scenario")
+    (Cmd.info "run"
+       ~doc:
+         "Run an end-to-end scenario (face verification, or disaggregated \
+          prefill/decode inference with --workload pd)")
     Term.(
-      const run_cmd $ placement $ batch $ requests $ seed $ trace $ trace_json
-      $ metrics $ breakdown $ audit $ openmetrics $ hist_csv $ journal
-      $ journal_cap $ audit_cap $ slo_flag $ top_flag $ artifacts_dir)
+      const run_cmd $ run_workload $ placement $ batch $ requests $ seed
+      $ trace $ trace_json $ metrics $ breakdown $ audit $ openmetrics
+      $ hist_csv $ journal $ journal_cap $ audit_cap $ slo_flag $ top_flag
+      $ artifacts_dir)
 
 let analyze_t =
   let dir =
@@ -1037,8 +1123,9 @@ let chaos_t =
     Arg.(
       value & opt string "mixed"
       & info [ "workload" ] ~docv:"W"
-          ~doc:"Workload mix: faceverify, fs, mixed, copy or xshard \
-                (cross-shard battery on a sharded capability space).")
+          ~doc:"Workload mix: faceverify, fs, mixed, copy, xshard \
+                (cross-shard battery on a sharded capability space) or pd \
+                (disaggregated prefill/decode inference).")
   in
   let clients =
     Arg.(

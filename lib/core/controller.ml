@@ -1164,21 +1164,69 @@ let shard_home ctrl =
 
 (* Mint an object at [home] and wait (bounded) for its address. The wait
    mirrors the P_ref_inc ack discipline: if the home crashed or the reply
-   was dropped, the caller gets a typed [Timeout] — never a hang. *)
+   was dropped, the caller gets a typed [Timeout] — never a hang.
+
+   The home minted the object the moment it processed the message, so a
+   caller-side timeout leaves an orphan behind: the home guards every
+   placement with a lease (see [place_lease_arm]) and the caller confirms
+   receipt with a fire-and-forget [P_place_ack]. A timed-out (or
+   dropped-reply) placement is reclaimed by the home when its lease
+   expires; no caller-driven cancel is attempted because that cancel
+   could itself be lost to fault injection. *)
 let place_remote ctrl (home : ctrl) ~size make_msg =
   charge ctrl [ (Net.Cost.Serialize, 1) ];
+  let key = ctrl.place_ack_seq in
+  ctrl.place_ack_seq <- ctrl.place_ack_seq + 1;
   let iv = Sim.Ivar.create () in
-  send_peer ctrl home ~size (make_msg { rr_ivar = iv; rr_ctrl = ctrl });
+  send_peer ctrl home ~size (make_msg key { rr_ivar = iv; rr_ctrl = ctrl });
   let timeout = (config ctrl).peer_ack_timeout in
-  if timeout <= 0 then Sim.Ivar.await iv
+  let confirm r =
+    (match r with
+    | Ok _ ->
+      charge ctrl [ (Net.Cost.Msg, 1) ];
+      send_peer ctrl home ~size:Wire.peer_fixed
+        (P_place_ack { caller = ctrl.ctrl_id; key })
+    | Error _ -> ());
+    r
+  in
+  if timeout <= 0 then confirm (Sim.Ivar.await iv)
   else
     match Sim.Ivar.await_timeout iv ~timeout with
-    | Some r -> r
+    | Some r -> confirm r
     | None ->
       Obs.Metrics.incr ctrl.cm.cm_place_timeouts;
       journal ctrl Obs.Journal.Warn "ctrl.place_timeout" (fun () ->
           Printf.sprintf "home=%d" home.ctrl_id);
       Error Error.Timeout
+
+(* Home side of the placement lease: remember the freshly minted object
+   under the caller's key and reclaim it if no P_place_ack lands within
+   twice the caller's wait (once for the caller's own timeout, once as
+   transit slack for the ack). Reclamation goes through the ordinary
+   revocation path — the Revoke is audited and remote capabilities are
+   cleaned up — so Invariants' live-object accounting stays balanced.
+   With peer_ack_timeout <= 0 the caller waits forever and can never
+   abandon a placement, so no lease is needed. *)
+let place_lease_arm ctrl ~caller ~key addr =
+  let timeout = (config ctrl).peer_ack_timeout in
+  if timeout > 0 then begin
+    Hashtbl.replace ctrl.placed_pending (caller, key) addr;
+    let armed_epoch = ctrl.epoch in
+    Sim.Engine.spawn (fun () ->
+        Sim.Engine.sleep (2 * timeout);
+        match Hashtbl.find_opt ctrl.placed_pending (caller, key) with
+        | None -> () (* confirmed (or the table was reset by a reboot) *)
+        | Some addr ->
+          Hashtbl.remove ctrl.placed_pending (caller, key);
+          if ctrl.running && ctrl.epoch = armed_epoch then (
+            match Objects.find ctrl addr with
+            | Ok obj when obj.o_valid ->
+              Obs.Metrics.incr ctrl.cm.cm_place_reclaims;
+              journal ctrl Obs.Journal.Warn "ctrl.place_reclaim" (fun () ->
+                  Printf.sprintf "caller=%d oid=%d" caller addr.a_oid);
+              invalidate_at_owner ctrl obj
+            | Ok _ | Error _ -> ()))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Syscall handlers                                                    *)
@@ -1195,8 +1243,9 @@ let sys_mem_create ctrl ~caller buf ~off ~len perms (reply : int reply) =
       match shard_home ctrl with
       | Some home -> (
         match
-          place_remote ctrl home ~size:Wire.peer_fixed (fun rr ->
-              P_place_mem { buf; off; len; perms; owner = caller; reply = rr })
+          place_remote ctrl home ~size:Wire.peer_fixed (fun key rr ->
+              P_place_mem
+                { buf; off; len; perms; owner = caller; key; reply = rr })
         with
         | Error e -> reply_to ctrl reply (Error e)
         | Ok addr ->
@@ -1343,13 +1392,14 @@ let sys_req_derive ctrl ~caller ~parent ~imms ~caps (reply : int reply) =
       match shard_home ctrl with
       | Some home -> (
         match
-          place_remote ctrl home ~size:Wire.peer_fixed (fun rr ->
+          place_remote ctrl home ~size:Wire.peer_fixed (fun key rr ->
               P_place_req
                 {
                   provider = caller;
                   imms;
                   caps = cap_args;
                   parent = parent_entry.e_addr;
+                  key;
                   reply = rr;
                 })
         with
@@ -1737,7 +1787,7 @@ let dispatch_peer ctrl msg =
       (* session already retired (all chunks posted): late credits are
          dropped; the source settled the inflight gauge at retirement *)
       ())
-  | P_place_mem { buf; off; len; perms; owner; reply } ->
+  | P_place_mem { buf; off; len; perms; owner; key; reply } ->
     charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Lookup, 1) ];
     let addr =
       Objects.add_memory ctrl
@@ -1748,8 +1798,9 @@ let dispatch_peer ctrl msg =
     (* the home records the Mint, so live-object accounting balances
        even when the address reply below is dropped by fault injection *)
     audit ctrl Obs.Audit.Mint ~detail:(fun () -> "shard placement") addr;
+    place_lease_arm ctrl ~caller:reply.rr_ctrl.ctrl_id ~key addr;
     rreply_to ctrl reply (Ok addr)
-  | P_place_req { provider; imms; caps; parent; reply } ->
+  | P_place_req { provider; imms; caps; parent; key; reply } ->
     charge ctrl [ (Net.Cost.Msg, 1); (Net.Cost.Serialize, 1) ];
     let addr =
       Objects.add_request ctrl
@@ -1763,7 +1814,11 @@ let dispatch_peer ctrl msg =
     in
     Obs.Metrics.incr ctrl.cm.cm_shard_placed;
     audit ctrl Obs.Audit.Mint ~detail:(fun () -> "shard placement") addr;
+    place_lease_arm ctrl ~caller:reply.rr_ctrl.ctrl_id ~key addr;
     rreply_to ctrl reply (Ok addr)
+  | P_place_ack { caller; key } ->
+    charge ctrl [ (Net.Cost.Msg, 1) ];
+    Hashtbl.remove ctrl.placed_pending (caller, key)
 
 let peer_name = function
   | P_invoke _ -> "invoke"
@@ -1783,6 +1838,7 @@ let peer_name = function
   | P_copy_credit _ -> "copy_credit"
   | P_place_mem _ -> "place_mem"
   | P_place_req _ -> "place_req"
+  | P_place_ack _ -> "place_ack"
 
 let handle_peer ctrl msg =
   Obs.Metrics.incr ctrl.cm.cm_peer_msgs;
@@ -1814,6 +1870,7 @@ let reject_peer msg =
   | P_copy_credit _ -> ()
   | P_place_mem { reply; _ } -> kill reply
   | P_place_req { reply; _ } -> kill reply
+  | P_place_ack _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -1857,6 +1914,8 @@ let create fabric ~node =
       dir_cache = Hashtbl.create 8;
       dir_gen = 0;
       place_seq = 0;
+      place_ack_seq = 0;
+      placed_pending = Hashtbl.create 8;
       cm =
         {
           cm_captable = Obs.Metrics.gauge ~node:nn "ctrl.captable";
@@ -1885,6 +1944,8 @@ let create fabric ~node =
             Obs.Metrics.counter ~node:nn "ctrl.handoff_rejects";
           cm_place_timeouts =
             Obs.Metrics.counter ~node:nn "ctrl.place_timeouts";
+          cm_place_reclaims =
+            Obs.Metrics.counter ~node:nn "ctrl.place_reclaims";
         };
     }
   in
@@ -2068,6 +2129,8 @@ let restart ctrl =
   | Some g -> ctrl.dir_gen <- g.sg_gen
   | None -> ());
   ctrl.place_seq <- 0;
+  ctrl.place_ack_seq <- 0;
+  Hashtbl.reset ctrl.placed_pending;
   (* the tables were reset wholesale: re-zero the incremental gauges *)
   Obs.Metrics.set (g_captable ctrl) 0;
   Obs.Metrics.set (g_revtree ctrl) 0
@@ -2076,6 +2139,7 @@ let live_objects ctrl = Objects.live_count ctrl
 let tombstones ctrl = Objects.tombstone_count ctrl
 let copy_pending_count ctrl = Hashtbl.length ctrl.copy_pending
 let copy_failures_count ctrl = Hashtbl.length ctrl.copy_failures
+let placed_pending_count ctrl = Hashtbl.length ctrl.placed_pending
 let is_running ctrl = ctrl.running
 let epoch ctrl = ctrl.epoch
 let id ctrl = ctrl.ctrl_id

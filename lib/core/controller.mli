@@ -92,6 +92,15 @@ val copy_failures_count : t -> int
     Zero once a run has quiesced, same reclamation rules as
     {!copy_pending_count}. *)
 
+val placed_pending_count : t -> int
+(** Placement leases still armed at this controller: objects minted here
+    on behalf of a remote caller ([P_place_mem]/[P_place_req]) whose
+    confirming [P_place_ack] has not arrived. Zero once a run has
+    quiesced — an unconfirmed lease either gets acked or the object is
+    reclaimed when the lease (2x {!Net.Config.peer_ack_timeout}) expires,
+    so a caller-side placement timeout can no longer leak remote
+    metadata; see [Fault.Invariants] pass 6. *)
+
 val epoch : t -> int
 (** Current epoch; bumped by every {!restart}. *)
 

@@ -93,6 +93,17 @@ and ctrl = {
   mutable place_seq : int;
       (* per-controller placement sequence: the deterministic shard-map
          key of the next object minted under Config.shard_placement *)
+  mutable place_ack_seq : int;
+      (* per-controller placement-lease key generator: distinguishes this
+         controller's outstanding P_place_* calls at the remote home *)
+  placed_pending : (int * int, addr) Hashtbl.t;
+      (* home side of the placement-lease protocol, keyed by
+         (caller ctrl id, caller's place_ack_seq): objects minted here on
+         behalf of a remote caller whose confirming P_place_ack has not
+         arrived yet. If the ack never lands within the lease (the caller
+         timed out, or the address reply was dropped), the object is
+         reclaimed — otherwise a placement timeout would leak remote
+         metadata forever. *)
   cm : ctrl_metrics;
 }
 
@@ -140,6 +151,9 @@ and ctrl_metrics = {
          Stale, the shard-failover analogue of an epoch mismatch *)
   cm_place_timeouts : Obs.Metrics.counter;
       (* P_place_* acks that never came back within peer_ack_timeout *)
+  cm_place_reclaims : Obs.Metrics.counter;
+      (* placement leases that expired without a P_place_ack: the object
+         minted for a remote caller was reclaimed at the home *)
 }
 
 and capspace = {
@@ -318,6 +332,7 @@ and peer_msg =
       len : int;
       perms : Perms.t;
       owner : proc;
+      key : int; (* caller's placement-lease key (its place_ack_seq) *)
       reply : addr rreply;
     }
       (* Shard placement (Config.shard_placement): mint a Memory object at
@@ -329,12 +344,18 @@ and peer_msg =
       imms : Args.imm list;
       caps : (addr * bool) list;
       parent : addr;
+      key : int;
       reply : addr rreply;
     }
       (* Shard placement of a derived Request. Only derivations shard:
          roots stay pinned to their provider's controller (delivery needs
          the provider's capspace locally) and revocation-tree children
          stay on their parent's (the tree uses controller-local oids). *)
+  | P_place_ack of { caller : int; key : int }
+      (* Fire-and-forget confirmation that the caller received the placed
+         address: releases the home's placement lease (placed_pending).
+         Without it the home cannot tell a confirmed placement from one
+         whose caller timed out, and the minted object would leak. *)
 
 and copy_chunk = {
   ck_off : int;

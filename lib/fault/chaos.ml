@@ -4,8 +4,9 @@ module Svc = Fractos_services.Svc
 module Fs = Fractos_services.Fs
 module Faceverify = Fractos_services.Faceverify
 module Facedata = Fractos_workloads.Facedata
+module Pd = Fractos_workloads.Pd
 
-type workload = Faceverify | Fs | Mixed | Copy | Xshard
+type workload = Faceverify | Fs | Mixed | Copy | Xshard | Pd
 
 let workload_to_string = function
   | Faceverify -> "faceverify"
@@ -13,6 +14,7 @@ let workload_to_string = function
   | Mixed -> "mixed"
   | Copy -> "copy"
   | Xshard -> "xshard"
+  | Pd -> "pd"
 
 let workload_of_string = function
   | "faceverify" -> Some Faceverify
@@ -20,6 +22,7 @@ let workload_of_string = function
   | "mixed" -> Some Mixed
   | "copy" -> Some Copy
   | "xshard" -> Some Xshard
+  | "pd" -> Some Pd
   | _ -> None
 
 type sampling_summary = {
@@ -114,7 +117,7 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
   let end_time = ref 0 in
   let is_fs_client k =
     match workload with
-    | Faceverify | Copy | Xshard -> false
+    | Faceverify | Copy | Xshard | Pd -> false
     | Fs -> true
     | Mixed -> k mod 2 = 1
   in
@@ -260,6 +263,33 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
                  (src_cap, dst_cap, dst_buf, pattern))
            end
          in
+         (* PD workload: a disaggregated prefill/decode inference pool
+            spread over the cluster's controllers — prefill on the GPU and
+            storage controllers, decode on the FS and GPU controllers (the
+            GPU node hosts both roles, so the locality scorer has a
+            zero-copy decode choice). A crashed instance must surface
+            typed errors at the client and get routed around, never hang
+            a request. *)
+         let pd_client =
+           if workload <> Pd then None
+           else begin
+             let ctrl_on node =
+               List.find
+                 (fun c -> Net.Node.same_machine Core.State.(c.cnode) node)
+                 tb.Tb.ctrls
+             in
+             let setup node = { Tb.node; ctrl = ctrl_on node } in
+             let pool =
+               Pd.deploy tb
+                 ~prefill:
+                   [ setup cl.Cluster.gpu_node; setup cl.Cluster.storage_node ]
+                 ~decode:
+                   [ setup cl.Cluster.fs_node; setup cl.Cluster.gpu_node ]
+                 ()
+             in
+             Some (Pd.attach pool app)
+           end
+         in
          (* Arm the fault plan. *)
          let pl =
            Plan.generate ~spec ~seed ~n_ctrls:(List.length tb.Tb.ctrls)
@@ -357,6 +387,27 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
                    Ok ()
                | Error _ as e -> e)
          in
+         let do_pd rng idx =
+           match pd_client with
+           | None -> assert false
+           | Some client ->
+               let prefix = Sim.Prng.int rng 4 in
+               let prompt_len = 64 * (1 + Sim.Prng.int rng 4) in
+               let kv_len = 256 * prompt_len in
+               let iters = 2 + Sim.Prng.int rng 6 in
+               Retry.run ~policy
+                 ~refresh:(fun _e -> ())
+                 (fun () ->
+                   match
+                     Pd.request client ~prefix ~prompt_len ~kv_len ~iters
+                       ~timeout:policy.Retry.p_timeout ()
+                   with
+                   | Ok o ->
+                       if o.Pd.o_ttft > o.Pd.o_latency then
+                         viol "request %d: first token after completion" idx;
+                       Ok ()
+                   | Error _ as e -> e)
+         in
          (* Drive the clients. *)
          let master = Sim.Prng.create ~seed:(seed lxor 0x107a05) in
          let rngs = Array.init clients (fun _ -> Sim.Prng.split master) in
@@ -372,6 +423,7 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
            let dispatch () =
              match workload with
              | Copy -> do_copy k i
+             | Pd -> do_pd rngs.(k) i
              | Xshard ->
                  if k land 1 = 1 then do_xcopy k i else do_fv rngs.(k) i
              | Faceverify | Fs | Mixed ->
@@ -430,9 +482,18 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
                    done)
              done;
              Sim.Waitgroup.wait wg;
-             (* Quiesce: stop injecting, let late reboots/cleanups land. *)
+             (* Quiesce: stop injecting, let late reboots/cleanups land.
+                The margin also covers the placement-lease expiry (2x
+                peer_ack_timeout), so Invariants can assert that every
+                lease was confirmed or reclaimed. *)
              Inject.disable tb.Tb.fabric;
-             Sim.Engine.sleep (spec.Spec.s_horizon + Sim.Time.ms 2));
+             let lease =
+               2
+               * (match config with
+                 | Some c -> c.Net.Config.peer_ack_timeout
+                 | None -> Net.Config.default.Net.Config.peer_ack_timeout)
+             in
+             Sim.Engine.sleep (spec.Spec.s_horizon + lease + Sim.Time.ms 2));
          (match slo with
          | Some s ->
              ignore (Obs.Slo.check s);

@@ -32,6 +32,15 @@ type workload =
           faceverify pipeline, whose derived Requests scatter under
           placement. Invariants pass 6 (directory coherence) then proves no
           orphaned directory entries survive the fault plan. *)
+  | Pd
+      (** Disaggregated prefill/decode inference ({!Fractos_workloads.Pd}):
+          prefill instances on the GPU and storage controllers, decode
+          instances on the FS and GPU controllers; every request runs
+          prompt pass -> KV-state handoff via third-party copy -> streamed
+          decode, routed by {!Fractos_services.Router}. A crashed instance
+          must surface typed errors at the client ([Stale] /
+          [Provider_dead] / [Ctrl_unreachable] / [Timeout]) and be routed
+          around on retry — never hang a request. *)
 
 val workload_to_string : workload -> string
 val workload_of_string : string -> workload option

@@ -136,4 +136,15 @@ let check ~ctrls ~plan ~install_time () =
         (fun v -> add "%s" v)
         (Core.Controller.dir_incoherences c))
     ctrl_arr;
+  (* ... and no orphaned placements: every placement lease must have been
+     confirmed by its caller's ack or reclaimed at expiry — an entry left
+     after quiescence is an object minted for a remote caller that nobody
+     owns or will ever clean up. *)
+  Array.iter
+    (fun c ->
+      let p = Core.Controller.placed_pending_count c in
+      if p <> 0 then
+        add "ctrl %d holds %d unresolved placement lease(s) after quiescence"
+          (Core.Controller.id c) p)
+    ctrl_arr;
   List.rev !violations

@@ -61,6 +61,21 @@ type t = {
          moves — the translation-cache discipline applied to routing *)
   dir_cache_cap : int; (* directory-cache entry bound (reset when full) *)
   shard_seed : int; (* placement-hash seed (deterministic, not secret) *)
+  (* PD (prefill/decode) router: how Services.Router picks instances for
+     the disaggregated LLM-inference workload (Workloads.Pd). *)
+  router_policy : string;
+      (* "rr" (round-robin over live instances), "least" (fewest
+         outstanding requests, deterministic tie-break), or "cache"
+         (prefix-hash affinity: same prompt prefix -> same live prefill
+         instance, SGLang-style) *)
+  router_affinity_slack : int;
+      (* cache/locality escape hatch: when the affine choice is backed up
+         by more than this many requests over the least-loaded instance,
+         fall back to least-loaded (0 = always honor affinity) *)
+  router_locality : bool;
+      (* score decode placement by projected bytes moved (prefer a decode
+         instance co-located with the KV state's controller, DaeMon-style)
+         instead of pure backlog *)
   (* What-if (causal-profiler) hooks: each factor virtually scales one
      component's service time — the Coz virtual-speedup idea made exact
      by the simulator. 1.0 is bit-identical to the calibrated model (the
@@ -123,6 +138,9 @@ let default =
     shard_dir_cache = true;
     dir_cache_cap = 1024;
     shard_seed = 7;
+    router_policy = "least";
+    router_affinity_slack = 4;
+    router_locality = true;
     scale_ctrl = 1.0;
     scale_fabric = 1.0;
     scale_device = 1.0;
@@ -164,6 +182,17 @@ let validate t =
     invalid_arg
       (Printf.sprintf "Net.Config: shard_seed must be non-negative (got %d)"
          t.shard_seed);
+  (match t.router_policy with
+  | "rr" | "least" | "cache" -> ()
+  | p ->
+      invalid_arg
+        (Printf.sprintf
+           "Net.Config: router_policy must be rr, least or cache (got %S)" p));
+  if t.router_affinity_slack < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Net.Config: router_affinity_slack must be non-negative (got %d)"
+         t.router_affinity_slack);
   let posf name v =
     if not (v > 0.) then
       invalid_arg

@@ -206,6 +206,29 @@ type t = {
       (** Seed of the deterministic placement hash. Not a secret — it
           only decorrelates placement across deployments; two runs with
           the same seed place identically (bit-determinism). *)
+  (* -------- PD (prefill/decode) router -------- *)
+  router_policy : string;
+      (** Instance-selection policy of [Services.Router], used by the
+          disaggregated prefill/decode inference workload
+          ([Workloads.Pd]): ["rr"] cycles round-robin over live
+          instances; ["least"] picks the instance with the fewest
+          outstanding requests (deterministic lowest-index tie-break);
+          ["cache"] routes by prompt-prefix hash so repeated prefixes
+          land on the same live prefill instance (SGLang-style
+          cache-aware routing), re-stabilizing deterministically when
+          the live set changes. Default ["least"]. *)
+  router_affinity_slack : int;
+      (** Escape hatch for affinity policies: when the affine (or
+          locality-preferred) instance is backed up by more than this
+          many outstanding requests over the least-loaded live
+          instance, fall back to least-loaded. 0 = always honor
+          affinity. Default 4. *)
+  router_locality : bool;
+      (** Score decode placement by projected bytes moved: prefer a
+          decode instance whose controller already holds the KV state
+          (zero-copy handoff, DaeMon-style locality) over a
+          least-backlogged one, within [router_affinity_slack]. Default
+          true. *)
   (* -------- what-if (causal profiler) hooks -------- *)
   scale_ctrl : float;
       (** Virtually scale every controller service time (all cost classes,
@@ -230,9 +253,10 @@ val default : t
 
 val validate : t -> unit
 (** Raise [Invalid_argument] when a knob the copy engine divides the work
-    by is non-positive ([bounce_chunk], [copy_window], [copy_streams]).
-    Called by [Fabric.create], so a bad config fails fast instead of
-    spinning [chunk_sizes] forever. *)
+    by is non-positive ([bounce_chunk], [copy_window], [copy_streams]),
+    when [router_policy] is not one of ["rr"]/["least"]/["cache"], or
+    when [router_affinity_slack] is negative. Called by [Fabric.create],
+    so a bad config fails fast instead of misbehaving mid-simulation. *)
 
 val bytes_time : bw_bps:int -> int -> Sim.Time.t
 (** [bytes_time ~bw_bps n] is the time to move [n] bytes at [bw_bps] bits

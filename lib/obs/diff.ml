@@ -23,6 +23,11 @@ type t = {
   df_threshold : float;
   df_meta : (string * string * string) list;  (* differing meta keys *)
   df_changes : change list;  (* significant, |rel| descending *)
+  df_verdicts : (string * string * string) list;
+      (* (kind, key, "appeared" | "vanished"): values that cross between
+         zero/undefined and a real measurement — no meaningful relative
+         delta exists, so they are reported categorically instead of
+         polluting the ranked numeric changes with NaN/inf *)
   df_added : string list;  (* series present only in B *)
   df_removed : string list;  (* series present only in A *)
   df_compared : int;
@@ -33,21 +38,32 @@ let rel_delta a b =
   else if a = 0.0 then (if b > 0.0 then 1.0 else -1.0)
   else (b -. a) /. Float.abs a
 
-let compare_assoc ~kind ~threshold a b (changes, compared) =
+(* a side with no signal: zero, or non-finite (empty histograms report
+   NaN means, a 0-observation percentile is NaN, a div-by-zero rate is
+   inf) — comparing against it numerically is meaningless *)
+let no_signal v = (not (Float.is_finite v)) || v = 0.0
+
+let compare_assoc ~kind ~threshold a b (changes, verdicts, compared) =
   List.fold_left
-    (fun (changes, compared) (key, va) ->
+    (fun (changes, verdicts, compared) (key, va) ->
       match List.assoc_opt key b with
-      | None -> (changes, compared)
+      | None -> (changes, verdicts, compared)
       | Some vb ->
-        let rel = rel_delta va vb in
-        let changes =
-          if Float.abs rel >= threshold && va <> vb then
-            { d_kind = kind; d_key = key; d_a = va; d_b = vb; d_rel = rel }
-            :: changes
-          else changes
-        in
-        (changes, compared + 1))
-    (changes, compared) a
+        if no_signal va && no_signal vb then (changes, verdicts, compared + 1)
+        else if no_signal va then
+          (changes, (kind, key, "appeared") :: verdicts, compared + 1)
+        else if no_signal vb then
+          (changes, (kind, key, "vanished") :: verdicts, compared + 1)
+        else
+          let rel = rel_delta va vb in
+          let changes =
+            if Float.abs rel >= threshold && va <> vb then
+              { d_kind = kind; d_key = key; d_a = va; d_b = vb; d_rel = rel }
+              :: changes
+            else changes
+          in
+          (changes, verdicts, compared + 1))
+    (changes, verdicts, compared) a
 
 let shares breakdown =
   let total =
@@ -65,25 +81,46 @@ let hist_metrics (h : Artifacts.hist) =
   [ ("mean", h.h_mean); ("p50", h.h_p50); ("p99", h.h_p99) ]
 
 let diff ?(threshold = 0.10) (a : Artifacts.t) (b : Artifacts.t) =
-  let changes, compared =
-    compare_assoc ~kind:"metric" ~threshold a.a_series b.a_series ([], 0)
+  let changes, verdicts, compared =
+    compare_assoc ~kind:"metric" ~threshold a.a_series b.a_series ([], [], 0)
   in
-  (* histograms, keyed node/name, compared on mean/p50/p99 *)
+  (* histograms, keyed node/name, compared on mean/p50/p99. A zero-count
+     side has NaN statistics: comparing against it yields only noise, so
+     such a pair collapses to a single appeared/vanished verdict and its
+     mean/p50/p99 are kept out of the numeric comparison entirely. *)
+  let hist_key (hh : Artifacts.hist) = hh.h_node ^ "/" ^ hh.h_name in
+  let counted h =
+    List.filter (fun (hh : Artifacts.hist) -> hh.Artifacts.h_count > 0.0) h
+  in
+  let verdicts =
+    List.fold_left
+      (fun verdicts (ha : Artifacts.hist) ->
+        match
+          List.find_opt
+            (fun (hb : Artifacts.hist) -> hist_key hb = hist_key ha)
+            b.a_hists
+        with
+        | Some hb when ha.h_count = 0.0 && hb.h_count > 0.0 ->
+          ("hist", hist_key ha, "appeared") :: verdicts
+        | Some hb when ha.h_count > 0.0 && hb.h_count = 0.0 ->
+          ("hist", hist_key ha, "vanished") :: verdicts
+        | _ -> verdicts)
+      verdicts a.a_hists
+  in
   let hist_assoc h kind =
     List.concat_map
       (fun (hh : Artifacts.hist) ->
         List.filter_map
-          (fun (m, v) ->
-            if m = kind then Some (hh.h_node ^ "/" ^ hh.h_name, v) else None)
+          (fun (m, v) -> if m = kind then Some (hist_key hh, v) else None)
           (hist_metrics hh))
-      h
+      (counted h)
   in
-  let changes, compared =
+  let changes, verdicts, compared =
     List.fold_left
       (fun acc kind ->
         compare_assoc ~kind:("hist." ^ kind) ~threshold
           (hist_assoc a.a_hists kind) (hist_assoc b.a_hists kind) acc)
-      (changes, compared)
+      (changes, verdicts, compared)
       [ "mean"; "p50"; "p99" ]
   in
   (* breakdown category shares: absolute share shift against threshold *)
@@ -96,7 +133,7 @@ let diff ?(threshold = 0.10) (a : Artifacts.t) (b : Artifacts.t) =
         | Some vb ->
           let shift = vb -. va in
           let changes =
-            if Float.abs shift >= threshold then
+            if Float.is_finite shift && Float.abs shift >= threshold then
               { d_kind = "breakdown"; d_key = c; d_a = va; d_b = vb; d_rel = shift }
               :: changes
             else changes
@@ -104,11 +141,11 @@ let diff ?(threshold = 0.10) (a : Artifacts.t) (b : Artifacts.t) =
           (changes, compared + 1))
       (changes, compared) sa
   in
-  let changes, compared =
+  let changes, verdicts, compared =
     compare_assoc ~kind:"journal" ~threshold
       (List.map (fun (k, v) -> (k, float_of_int v)) a.a_journal)
       (List.map (fun (k, v) -> (k, float_of_int v)) b.a_journal)
-      (changes, compared)
+      (changes, verdicts, compared)
   in
   let only l l' =
     List.filter_map
@@ -136,12 +173,13 @@ let diff ?(threshold = 0.10) (a : Artifacts.t) (b : Artifacts.t) =
           | 0 -> compare (x.d_kind, x.d_key) (y.d_kind, y.d_key)
           | c -> c)
         changes;
+    df_verdicts = List.sort compare verdicts;
     df_added = only b.a_series a.a_series;
     df_removed = only a.a_series b.a_series;
     df_compared = compared;
   }
 
-let significant t = t.df_changes <> []
+let significant t = t.df_changes <> [] || t.df_verdicts <> []
 
 let pp_value fmt v =
   if Float.abs v >= 1e6 then Format.fprintf fmt "%.3e" v
@@ -157,10 +195,11 @@ let pp fmt t =
     (fun (k, va, vb) -> fprintf fmt "  meta %s: %s -> %s@." k va vb)
     t.df_meta;
   fprintf fmt
-    "  %d values compared: %d significant changes, %d added series, %d \
-     removed@."
+    "  %d values compared: %d significant changes, %d appeared/vanished, %d \
+     added series, %d removed@."
     t.df_compared
     (List.length t.df_changes)
+    (List.length t.df_verdicts)
     (List.length t.df_added)
     (List.length t.df_removed);
   List.iter
@@ -172,6 +211,10 @@ let pp fmt t =
         fprintf fmt "  %-10s %-44s %a -> %a (%+.1f%%)@." c.d_kind c.d_key
           pp_value c.d_a pp_value c.d_b (c.d_rel *. 100.0))
     t.df_changes;
+  List.iter
+    (fun (kind, key, dir) -> fprintf fmt "  %-10s %-44s %s@." kind key dir)
+    t.df_verdicts;
   List.iter (fun k -> fprintf fmt "  only in B: %s@." k) t.df_added;
   List.iter (fun k -> fprintf fmt "  only in A: %s@." k) t.df_removed;
-  if t.df_changes = [] then fprintf fmt "  no significant value changes@."
+  if t.df_changes = [] && t.df_verdicts = [] then
+    fprintf fmt "  no significant value changes@."

@@ -24,6 +24,13 @@ type t = {
   df_threshold : float;
   df_meta : (string * string * string) list;  (** differing meta keys *)
   df_changes : change list;  (** significant only, |rel| descending *)
+  df_verdicts : (string * string * string) list;
+      (** [(kind, key, "appeared" | "vanished")]: values crossing between
+          zero/undefined (zero-count histogram sides report NaN
+          statistics, zero baselines have no relative delta) and a real
+          measurement. Reported categorically so NaN/inf never pollute
+          the ranked numeric changes; they still count toward
+          {!significant}. *)
   df_added : string list;  (** series present only in B *)
   df_removed : string list;  (** series present only in A *)
   df_compared : int;

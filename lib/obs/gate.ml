@@ -73,11 +73,34 @@ let extract_cluster j =
            | _ -> None)
          points)
 
+let extract_pd j =
+  match Option.bind (Json.member "points" j) Json.to_list with
+  | None -> Error "pd JSON has no points array"
+  | Some points ->
+    Ok
+      (List.filter_map
+         (fun p ->
+           match
+             ( Json.string_at [ "mode" ] p,
+               Json.number_at [ "decodes" ] p,
+               Json.number_at [ "kv_bytes" ] p,
+               Json.number_at [ "goodput_rps" ] p )
+           with
+           | Some mode, Some d, Some kv, Some g ->
+             Some
+               ( Printf.sprintf "goodput_rps/%s-d%d-kv%d" mode
+                   (int_of_float d)
+                   (int_of_float kv / 1024),
+                 g )
+           | _ -> None)
+         points)
+
 let extract j =
   match Json.string_at [ "experiment" ] j with
   | Some "loadcurve" -> extract_loadcurve j
   | Some "copybw" -> extract_copybw j
   | Some "cluster" -> extract_cluster j
+  | Some "pd" -> extract_pd j
   | Some other -> Error ("unknown experiment kind " ^ other)
   | None -> Error "JSON has no \"experiment\" field"
 

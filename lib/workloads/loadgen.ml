@@ -18,8 +18,7 @@ let percentile sorted p =
 let zero_summary elapsed =
   { n = 0; mean = 0; p50 = 0; p95 = 0; p99 = 0; max = 0; elapsed }
 
-let summarize latencies elapsed =
-  if latencies = [] then invalid_arg "Loadgen.summarize: no samples";
+let summarize' latencies elapsed =
   let sorted = Array.of_list (List.sort compare latencies) in
   let n = Array.length sorted in
   let total = Array.fold_left ( + ) 0 sorted in
@@ -32,6 +31,12 @@ let summarize latencies elapsed =
     max = sorted.(n - 1);
     elapsed;
   }
+
+(* under heavy shedding a workload can legitimately complete zero
+   requests; report the all-zero summary instead of crashing the report
+   path (mirrors the n = 0 run_open_loop short-circuit) *)
+let summarize latencies elapsed =
+  if latencies = [] then zero_summary elapsed else summarize' latencies elapsed
 
 let run_open_loop' ~rng ~rate_per_s ~n request =
   let mean_gap_ns = 1e9 /. rate_per_s in

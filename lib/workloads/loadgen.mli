@@ -20,7 +20,10 @@ type summary = {
 }
 
 val summarize : Sim.Time.t list -> Sim.Time.t -> summary
-(** [summarize latencies elapsed]. Raises [Invalid_argument] on []. *)
+(** [summarize latencies elapsed]. An empty sample list yields the
+    all-zero summary (n = 0) rather than raising: under heavy chaos
+    shedding a workload can complete zero requests and the report must
+    still print. *)
 
 val run_open_loop :
   rng:Sim.Prng.t ->

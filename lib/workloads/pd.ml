@@ -1,0 +1,432 @@
+(* Prefill/decode disaggregated LLM inference over FractOS capabilities.
+
+   The serving pattern of SplitWise/DistServe-style deployments, expressed
+   as a FractOS invocation chain: a prefill instance runs the prompt pass
+   on its GPU pool and registers the resulting KV state as a Memory
+   object; the continuation hops to a decode instance, which pulls the KV
+   state with a third-party [memory_copy] (pool to pool — the bytes never
+   touch the client) and then streams decode iterations, firing a
+   first-token continuation (TTFT) and a completion continuation back at
+   the client. Instance selection goes through {!Services.Router}
+   ([Net.Config.router_policy]); decode placement can additionally
+   minimize projected KV bytes moved ([Net.Config.router_locality]).
+
+   The client only ever blocks with a timeout, so a crashed instance
+   yields a typed error ([Timeout] on the waits, [Stale] /
+   [Provider_dead] / [Ctrl_unreachable] on the next derive against the
+   dead instance), never a hang; on any failure the client probes the
+   instances it picked and marks dead ones out of the router so a retry
+   re-routes. *)
+
+module Sim = Fractos_sim
+module Net = Fractos_net
+module Core = Fractos_core
+module Services = Fractos_services
+module Tb = Fractos_testbed.Testbed
+module Svc = Services.Svc
+module Router = Services.Router
+
+let prefill_tag = "pd.prefill"
+let decode_tag = "pd.decode"
+let unified_tag = "pd.unified"
+
+(* Status codes on the reply/first/done continuations: 0 = ok, otherwise
+   the typed error the instance hit, so a remote failure surfaces at the
+   client with its type intact (a decode pulling KV from a crashed
+   prefill pool reports the Stale/Ctrl_unreachable it saw, not a blind
+   timeout). *)
+let status_of_error = function
+  | Core.Error.Invalid_cap -> 1
+  | Core.Error.Revoked -> 2
+  | Core.Error.Stale -> 3
+  | Core.Error.Perm_denied -> 4
+  | Core.Error.Bounds -> 5
+  | Core.Error.Bad_argument _ -> 6
+  | Core.Error.Provider_dead -> 7
+  | Core.Error.Ctrl_unreachable -> 8
+  | Core.Error.Quota_exceeded -> 9
+  | Core.Error.Timeout -> 10
+  | Core.Error.Overloaded -> 11
+
+let error_of_status = function
+  | 1 -> Core.Error.Invalid_cap
+  | 2 -> Core.Error.Revoked
+  | 3 -> Core.Error.Stale
+  | 4 -> Core.Error.Perm_denied
+  | 5 -> Core.Error.Bounds
+  | 6 -> Core.Error.Bad_argument "pd: remote failure"
+  | 7 -> Core.Error.Provider_dead
+  | 8 -> Core.Error.Ctrl_unreachable
+  | 9 -> Core.Error.Quota_exceeded
+  | 10 -> Core.Error.Timeout
+  | 11 -> Core.Error.Overloaded
+  | n -> Core.Error.Bad_argument (Printf.sprintf "pd: bad status %d" n)
+
+type instance = {
+  i_index : int;
+  i_svc : Svc.t;
+  i_proc : Core.Process.t;
+  i_ctrl_id : int;
+  i_root : Core.Api.cid; (* service root, in the instance's own space *)
+  i_engine : Sim.Resource.t; (* the instance's GPU: serializes compute *)
+  mutable i_backlog : int; (* client-visible outstanding requests *)
+}
+
+type t = {
+  p_split : bool; (* false = unified baseline (prefill array does both) *)
+  p_prefill : instance array;
+  p_decode : instance array; (* [||] when unified *)
+  p_prefill_router : Router.t;
+  p_decode_router : Router.t; (* = p_prefill_router when unified *)
+  p_locality : bool;
+  p_prefill_ns_per_token : Sim.Time.t;
+  p_decode_ns_per_iter : Sim.Time.t;
+}
+
+let prefill_instances t = Array.length t.p_prefill
+let decode_instances t = Array.length t.p_decode
+
+let mark_decode_dead t i =
+  Router.mark_dead t.p_decode_router i;
+  if not t.p_split then Router.mark_dead t.p_prefill_router i
+
+(* Fire a completion continuation, appending the status. Invocation
+   failures are swallowed: if the client's controller died there is nobody
+   to tell, and the client's timed wait covers it. *)
+let fire proc cont ~status =
+  match
+    Core.Api.request_derive proc cont ~imms:[ Core.Args.of_int status ] ()
+  with
+  | Error _ -> ()
+  | Ok r -> ignore (Core.Api.request_invoke proc r)
+
+(* Length-checked immediate access: liveness probes invoke service roots
+   with no payload, and a handler must shrug at a malformed delivery
+   rather than kill its fiber. *)
+let nth_int_opt imms i =
+  match List.nth_opt imms i with
+  | Some imm when Bytes.length imm = 8 -> Some (Core.Args.to_int imm)
+  | _ -> None
+
+(* Prefill: prompt pass on the engine, then register the KV state on this
+   pool and hand it to the decode continuation (the delivery's only
+   capability — Svc.reply derives and invokes it, appending the status and
+   the KV capability). *)
+let prefill_handler pool inst svc (d : Core.State.delivery) =
+  let proc = Svc.proc svc in
+  match
+    (nth_int_opt d.Core.State.d_imms 0, nth_int_opt d.Core.State.d_imms 1)
+  with
+  | Some prompt_len, Some kv_len when prompt_len > 0 && kv_len > 0 -> (
+      Sim.Resource.use inst.i_engine
+        ~duration:(prompt_len * pool.p_prefill_ns_per_token);
+      let kv_buf = Core.Process.alloc proc kv_len in
+      match Core.Api.memory_create proc kv_buf Core.Perms.ro with
+      | Ok kv -> Svc.reply svc d ~status:0 ~caps:[ kv ] ()
+      | Error e -> Svc.reply svc d ~status:(status_of_error e) ())
+  | _ -> () (* liveness probe or malformed delivery: nothing to do *)
+
+(* Decode: pull the KV state from the prefill pool (third-party copy —
+   controller to controller, never through the client), then stream
+   iterations: first token fires the TTFT continuation, the last fires the
+   completion continuation. A failed pull forwards the typed status on
+   both continuations so the client sees it whichever it awaits first. *)
+let decode_handler pool inst svc (d : Core.State.delivery) =
+  let proc = Svc.proc svc in
+  let imms = d.Core.State.d_imms in
+  let kv_len = Option.value ~default:0 (nth_int_opt imms 0) in
+  let iters = max 1 (Option.value ~default:1 (nth_int_opt imms 1)) in
+  let status = Option.value ~default:6 (nth_int_opt imms 2) in
+  let status = if status = 0 && kv_len <= 0 then 6 else status in
+  let fail first_c done_c status =
+    fire proc first_c ~status;
+    fire proc done_c ~status
+  in
+  match d.Core.State.d_caps with
+  | [ first_c; done_c; kv ] when status = 0 -> (
+      let dst_buf = Core.Process.alloc proc kv_len in
+      match Core.Api.memory_create proc dst_buf Core.Perms.rw with
+      | Error e -> fail first_c done_c (status_of_error e)
+      | Ok dst -> (
+          match Core.Api.memory_copy proc ~src:kv ~dst with
+          | Error e -> fail first_c done_c (status_of_error e)
+          | Ok () ->
+              Sim.Resource.use inst.i_engine
+                ~duration:pool.p_decode_ns_per_iter;
+              fire proc first_c ~status:0;
+              if iters > 1 then
+                Sim.Resource.use inst.i_engine
+                  ~duration:((iters - 1) * pool.p_decode_ns_per_iter);
+              fire proc done_c ~status:0))
+  | first_c :: done_c :: _ ->
+      fail first_c done_c (if status = 0 then 6 else status)
+  | _ -> ()
+
+(* Unified baseline: the whole request on one instance — prompt pass,
+   KV state stays resident (no registration hop, no copy), decode. *)
+let unified_handler pool inst svc (d : Core.State.delivery) =
+  let proc = Svc.proc svc in
+  let imms = d.Core.State.d_imms in
+  let prompt_len = max 1 (Option.value ~default:1 (nth_int_opt imms 0)) in
+  let iters = max 1 (Option.value ~default:1 (nth_int_opt imms 2)) in
+  match d.Core.State.d_caps with
+  | [ first_c; done_c ] ->
+      Sim.Resource.use inst.i_engine
+        ~duration:(prompt_len * pool.p_prefill_ns_per_token);
+      Sim.Resource.use inst.i_engine ~duration:pool.p_decode_ns_per_iter;
+      fire proc first_c ~status:0;
+      if iters > 1 then
+        Sim.Resource.use inst.i_engine
+          ~duration:((iters - 1) * pool.p_decode_ns_per_iter);
+      fire proc done_c ~status:0
+  | _ -> ()
+
+let make_instance tb ~role i (s : Tb.node_setup) =
+  let proc =
+    Tb.add_proc tb ~on:s.Tb.node ~ctrl:s.Tb.ctrl
+      (Printf.sprintf "pd-%s%d" role i)
+  in
+  let svc = Svc.create proc in
+  let tag =
+    match role with
+    | "prefill" -> prefill_tag
+    | "decode" -> decode_tag
+    | _ -> unified_tag
+  in
+  let root = Core.Error.ok_exn (Core.Api.request_create proc ~tag ()) in
+  {
+    i_index = i;
+    i_svc = svc;
+    i_proc = proc;
+    i_ctrl_id = Core.Controller.id s.Tb.ctrl;
+    i_root = root;
+    i_engine = Sim.Resource.create ();
+    i_backlog = 0;
+  }
+
+let deploy_generic tb ~split ?(prefill_ns_per_token = 500)
+    ?(decode_ns_per_iter = Sim.Time.us 15) ~prefill ~decode () =
+  let cfg = Net.Fabric.config tb.Tb.fabric in
+  let mk role setups =
+    Array.of_list (List.mapi (fun i s -> make_instance tb ~role i s) setups)
+  in
+  let prefill_arr = mk (if split then "prefill" else "unified") prefill in
+  let decode_arr = if split then mk "decode" decode else [||] in
+  let router arr =
+    Router.of_config ~seed:cfg.Net.Config.shard_seed cfg
+      ~backlog:(fun i -> arr.(i).i_backlog)
+      (Array.length arr)
+  in
+  let prefill_router = router prefill_arr in
+  let pool =
+    {
+      p_split = split;
+      p_prefill = prefill_arr;
+      p_decode = decode_arr;
+      p_prefill_router = prefill_router;
+      p_decode_router =
+        (if split then router decode_arr else prefill_router);
+      p_locality = cfg.Net.Config.router_locality;
+      p_prefill_ns_per_token = prefill_ns_per_token;
+      p_decode_ns_per_iter = decode_ns_per_iter;
+    }
+  in
+  Array.iter
+    (fun inst ->
+      if split then
+        Svc.handle inst.i_svc ~tag:prefill_tag (prefill_handler pool inst)
+      else Svc.handle inst.i_svc ~tag:unified_tag (unified_handler pool inst))
+    prefill_arr;
+  Array.iter
+    (fun inst ->
+      Svc.handle inst.i_svc ~tag:decode_tag (decode_handler pool inst))
+    decode_arr;
+  pool
+
+let deploy tb ?prefill_ns_per_token ?decode_ns_per_iter ~prefill ~decode () =
+  if prefill = [] || decode = [] then
+    invalid_arg "Pd.deploy: need at least one prefill and one decode setup";
+  deploy_generic tb ~split:true ?prefill_ns_per_token ?decode_ns_per_iter
+    ~prefill ~decode ()
+
+let deploy_unified tb ?prefill_ns_per_token ?decode_ns_per_iter ~nodes () =
+  if nodes = [] then invalid_arg "Pd.deploy_unified: need at least one node";
+  deploy_generic tb ~split:false ?prefill_ns_per_token ?decode_ns_per_iter
+    ~prefill:nodes ~decode:[] ()
+
+type client = {
+  c_svc : Svc.t;
+  c_pool : t;
+  c_prefill_caps : Core.Api.cid array;
+  c_decode_caps : Core.Api.cid array;
+}
+
+let attach pool svc =
+  let dst = Svc.proc svc in
+  let grant inst = Tb.grant ~src:inst.i_proc ~dst inst.i_root in
+  {
+    c_svc = svc;
+    c_pool = pool;
+    c_prefill_caps = Array.map grant pool.p_prefill;
+    c_decode_caps = Array.map grant pool.p_decode;
+  }
+
+type outcome = {
+  o_ttft : Sim.Time.t; (* dispatch to first decoded token *)
+  o_latency : Sim.Time.t; (* dispatch to last decoded token *)
+  o_prefill : int; (* prefill (or unified) instance that served it *)
+  o_decode : int; (* decode instance (= o_prefill when unified) *)
+}
+
+(* Liveness probe: invoking a payload-free derivation of the instance's
+   service root surfaces the typed error a dead instance earns ([Stale]
+   after a reboot — the eager epoch check —, [Ctrl_unreachable] while its
+   controller is down, [Provider_dead] once the crash was translated). A
+   live instance just shrugs the probe off. Returns the death error, so
+   the caller can surface it instead of a blind [Timeout]. *)
+let instance_error proc ~timeout cap =
+  match Core.Api.request_invoke_timeout proc ~timeout cap with
+  | Ok () -> None
+  | Error
+      (( Core.Error.Stale | Core.Error.Provider_dead
+       | Core.Error.Ctrl_unreachable | Core.Error.Invalid_cap
+       | Core.Error.Revoked ) as e) ->
+      Some e
+  | Error _ -> None
+
+let probe_and_mark client ~timeout ~prefill ~decode =
+  let pool = client.c_pool in
+  let proc = Svc.proc client.c_svc in
+  let pe = instance_error proc ~timeout client.c_prefill_caps.(prefill) in
+  (match pe with
+  | Some _ -> Router.mark_dead pool.p_prefill_router prefill
+  | None -> ());
+  let de =
+    if not pool.p_split then None
+    else instance_error proc ~timeout client.c_decode_caps.(decode)
+  in
+  (match de with Some _ -> mark_decode_dead pool decode | None -> ());
+  match (pe, de) with Some e, _ | None, Some e -> Some e | None, None -> None
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let request client ?(prefix = 0) ~prompt_len ~kv_len ~iters ~timeout () =
+  let pool = client.c_pool in
+  let svc = client.c_svc in
+  let proc = Svc.proc svc in
+  match Router.pick pool.p_prefill_router ~key:prefix with
+  | None -> Error Core.Error.Provider_dead
+  | Some p ->
+      let d =
+        if not pool.p_split then Some p
+        else
+          (* decode placement: minimize projected KV bytes moved — a
+             decode instance behind the chosen prefill's controller pulls
+             the KV state for free (DaeMon-style locality) *)
+          let cost =
+            if pool.p_locality then
+              Some
+                (fun i ->
+                  if
+                    pool.p_decode.(i).i_ctrl_id
+                    = pool.p_prefill.(p).i_ctrl_id
+                  then 0
+                  else kv_len)
+            else None
+          in
+          Router.pick_placed pool.p_decode_router ?cost ~key:prefix ()
+      in
+      (match d with
+      | None -> Error Core.Error.Provider_dead
+      | Some d ->
+          let pi = pool.p_prefill.(p) in
+          let di = if pool.p_split then pool.p_decode.(d) else pi in
+          pi.i_backlog <- pi.i_backlog + 1;
+          if pool.p_split then di.i_backlog <- di.i_backlog + 1;
+          let finish r =
+            pi.i_backlog <- pi.i_backlog - 1;
+            if pool.p_split then di.i_backlog <- di.i_backlog - 1;
+            match r with
+            | Ok _ -> r
+            | Error e -> (
+                (* probe the picks: a dead one is marked out of the
+                   routers (retries re-route) and its typed death error
+                   replaces a blind timeout *)
+                match probe_and_mark client ~timeout ~prefill:p ~decode:d with
+                | Some e' -> Error e'
+                | None -> Error e)
+          in
+          let first_tag = Svc.fresh_tag svc in
+          let done_tag = Svc.fresh_tag svc in
+          let first_iv = Svc.expect svc ~tag:first_tag in
+          let done_iv = Svc.expect svc ~tag:done_tag in
+          let cleanup () =
+            Svc.unexpect svc ~tag:first_tag;
+            Svc.unexpect svc ~tag:done_tag
+          in
+          let t0 = Sim.Engine.now () in
+          let invoked =
+            let* first_c = Core.Api.request_create proc ~tag:first_tag () in
+            let* done_c = Core.Api.request_create proc ~tag:done_tag () in
+            if pool.p_split then
+              (* ring back to front: decode continuation first, then the
+                 prefill request that will hop to it carrying the KV cap *)
+              let* dreq =
+                Core.Api.request_derive proc client.c_decode_caps.(d)
+                  ~imms:[ Core.Args.of_int kv_len; Core.Args.of_int iters ]
+                  ~caps:[ first_c; done_c ] ()
+              in
+              let* preq =
+                Core.Api.request_derive proc client.c_prefill_caps.(p)
+                  ~imms:
+                    [ Core.Args.of_int prompt_len; Core.Args.of_int kv_len ]
+                  ~caps:[ dreq ] ()
+              in
+              Core.Api.request_invoke_timeout proc ~timeout preq
+            else
+              let* ureq =
+                Core.Api.request_derive proc client.c_prefill_caps.(p)
+                  ~imms:
+                    [
+                      Core.Args.of_int prompt_len;
+                      Core.Args.of_int kv_len;
+                      Core.Args.of_int iters;
+                    ]
+                  ~caps:[ first_c; done_c ] ()
+              in
+              Core.Api.request_invoke_timeout proc ~timeout ureq
+          in
+          finish
+            (match invoked with
+            | Error _ as e ->
+                cleanup ();
+                e
+            | Ok () -> (
+                match Sim.Ivar.await_timeout first_iv ~timeout with
+                | None ->
+                    cleanup ();
+                    Error Core.Error.Timeout
+                | Some fd ->
+                    let st = Svc.status fd in
+                    if st <> 0 then begin
+                      cleanup ();
+                      Error (error_of_status st)
+                    end
+                    else
+                      let ttft = Sim.Engine.now () - t0 in
+                      (match Sim.Ivar.await_timeout done_iv ~timeout with
+                      | None ->
+                          cleanup ();
+                          Error Core.Error.Timeout
+                      | Some dd ->
+                          let st = Svc.status dd in
+                          cleanup ();
+                          if st <> 0 then Error (error_of_status st)
+                          else
+                            Ok
+                              {
+                                o_ttft = ttft;
+                                o_latency = Sim.Engine.now () - t0;
+                                o_prefill = p;
+                                o_decode = d;
+                              }))))

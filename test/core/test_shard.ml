@@ -295,6 +295,60 @@ let prop_dir_invalidation_deterministic =
       else true)
 
 (* ------------------------------------------------------------------ *)
+(* Placement-lease reclamation on forced timeouts                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A placement that times out on the caller after the remote home already
+   minted the object used to leak that object forever. With
+   peer_ack_timeout forced below the controller-to-controller round trip,
+   every remote placement times out; the homes must reclaim each leaked
+   object when its lease expires, leaving no pending leases and only the
+   locally-minted (successful) objects live. *)
+let test_place_timeout_reclaims () =
+  Controller.reset_ids ();
+  Process.reset_ids ();
+  Obs.Metrics.reset ();
+  let tiny =
+    {
+      Net.Config.default with
+      Net.Config.shard_placement = true;
+      (* 1 ns: guaranteed below any peer round trip *)
+      peer_ack_timeout = 1;
+    }
+  in
+  Tb.run ~config:tiny (fun tb ->
+      let hosts =
+        List.init 2 (fun i -> Tb.add_host tb (Printf.sprintf "h%d" i))
+      in
+      let ctrls = List.map (fun h -> Tb.add_ctrl tb ~on:h) hosts in
+      let procs =
+        List.map2 (fun h c -> Tb.add_proc tb ~on:h ~ctrl:c "p") hosts ctrls
+      in
+      Tb.shard_all tb;
+      let client = List.hd procs in
+      let buf = Membuf.create ~node:(List.hd hosts) 64 in
+      let oks = ref 0 and timeouts = ref 0 in
+      for _ = 1 to 16 do
+        match Api.memory_create client buf Perms.ro with
+        | Ok _ -> incr oks
+        | Error Error.Timeout -> incr timeouts
+        | Error e -> Alcotest.failf "unexpected error %s" (Error.to_string e)
+      done;
+      Alcotest.(check bool) "some placements timed out" true (!timeouts > 0);
+      Alcotest.(check bool) "some placements stayed local" true (!oks > 0);
+      (* let every lease expire and the reclaim cleanups settle *)
+      Engine.sleep (Time.ms 2);
+      List.iter
+        (fun c ->
+          Alcotest.(check int)
+            (Printf.sprintf "ctrl %d has no pending leases" (Controller.id c))
+            0
+            (Controller.placed_pending_count c))
+        ctrls;
+      let live =
+        List.fold_left (fun n c -> n + Controller.live_objects c) 0 ctrls
+      in
+      Alcotest.(check int) "timed-out placements were reclaimed" !oks live)
 
 let qtest t = QCheck_alcotest.to_alcotest t
 
@@ -311,4 +365,9 @@ let () =
         ] );
       ("rebalance", [ qtest prop_rebalance_coherent ]);
       ("directory", [ qtest prop_dir_invalidation_deterministic ]);
+      ( "placement",
+        [
+          Alcotest.test_case "timeout leases reclaimed" `Quick
+            test_place_timeout_reclaims;
+        ] );
     ]

@@ -582,6 +582,82 @@ let test_chaos_xshard_deterministic () =
   check_bool "different seed, different digest" true
     (a.Chaos.r_audit_digest <> c.Chaos.r_audit_digest)
 
+let test_chaos_xshard_place_timeouts () =
+  (* force placement timeouts: 3 ms message delays exceed the 2 ms
+     peer_ack_timeout, so callers abandon placements the remote home has
+     already minted. The homes must reclaim each abandoned object when
+     its lease expires — Invariants pass 6 asserts no placement lease
+     survives quiescence, and pass 3 that the reclaims kept live-object
+     accounting balanced. *)
+  let spec =
+    match Spec.of_string "drop=0.02,delayp=0.15,delay=3ms" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let r = small_chaos ~spec ~workload:Chaos.Xshard 5 in
+  check_bool
+    (String.concat "; " r.Chaos.r_violations)
+    true (Chaos.passed r);
+  let total name =
+    List.fold_left
+      (fun n (_, nm, v) -> if nm = name then n + v else n)
+      0
+      (Obs.Metrics.counters_list ())
+  in
+  check_bool "place timeouts were forced" true (total "ctrl.place_timeouts" > 0);
+  check_bool "abandoned placements were reclaimed" true
+    (total "ctrl.place_reclaims" > 0)
+
+(* PD battery: disaggregated prefill/decode inference. Every request must
+   end in a typed completion (the client's waits are all timed), crashed
+   instances must be routed around, and the invariants must hold over the
+   KV Memory objects the pool mints. *)
+let test_chaos_pd_clean () =
+  let r = small_chaos ~workload:Chaos.Pd 1 in
+  check_bool
+    (String.concat "; " r.Chaos.r_violations)
+    true (Chaos.passed r);
+  check_int "all requests ok" 8 r.Chaos.r_ok;
+  check_int "no retries without faults" 0 r.Chaos.r_retries
+
+let test_chaos_pd_under_faults () =
+  let r = small_chaos ~spec:Spec.default ~workload:Chaos.Pd 3 in
+  check_bool
+    (String.concat "; " r.Chaos.r_violations)
+    true (Chaos.passed r);
+  let errs = List.fold_left (fun n (_, c) -> n + c) 0 r.Chaos.r_errors in
+  check_int "ok + errors = requests" r.Chaos.r_requests (r.Chaos.r_ok + errs)
+
+let test_chaos_pd_crashes () =
+  (* instance-killing crashes with reboots: typed completions only, and
+     the routers steer retries to surviving instances *)
+  let spec =
+    match Spec.of_string "drop=0.01,crash=2,reboot=300us" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let r = small_chaos ~spec ~workload:Chaos.Pd 9 in
+  check_bool
+    (String.concat "; " r.Chaos.r_violations)
+    true (Chaos.passed r);
+  let errs = List.fold_left (fun n (_, c) -> n + c) 0 r.Chaos.r_errors in
+  check_int "ok + errors = requests" r.Chaos.r_requests (r.Chaos.r_ok + errs)
+
+let test_chaos_pd_deterministic () =
+  let spec =
+    match Spec.of_string "drop=0.01,dup=0.01,crash=1,reboot=400us" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let a = small_chaos ~spec ~workload:Chaos.Pd 7 in
+  let b = small_chaos ~spec ~workload:Chaos.Pd 7 in
+  check_string "same audit digest" a.Chaos.r_audit_digest
+    b.Chaos.r_audit_digest;
+  check_bool "bit-identical report" true (Chaos.to_lines a = Chaos.to_lines b);
+  let c = small_chaos ~spec ~workload:Chaos.Pd 8 in
+  check_bool "different seed, different digest" true
+    (a.Chaos.r_audit_digest <> c.Chaos.r_audit_digest)
+
 let test_chaos_report_shape () =
   let r = small_chaos 5 in
   let lines = Chaos.to_lines r in
@@ -652,5 +728,14 @@ let () =
             test_chaos_xshard_under_faults;
           Alcotest.test_case "xshard deterministic" `Quick
             test_chaos_xshard_deterministic;
+          Alcotest.test_case "xshard forced place timeouts" `Quick
+            test_chaos_xshard_place_timeouts;
+          Alcotest.test_case "pd clean run" `Quick test_chaos_pd_clean;
+          Alcotest.test_case "pd under faults" `Quick
+            test_chaos_pd_under_faults;
+          Alcotest.test_case "pd instance crashes" `Quick
+            test_chaos_pd_crashes;
+          Alcotest.test_case "pd deterministic" `Quick
+            test_chaos_pd_deterministic;
         ] );
     ]

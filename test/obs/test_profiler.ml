@@ -295,6 +295,73 @@ let test_diff_significance () =
   let same = Obs.Diff.diff ~threshold:0.10 a a in
   check_bool "self-diff is quiet" false (Obs.Diff.significant same)
 
+let mk_hist node name ~count ~v =
+  {
+    Obs.Artifacts.h_node = node;
+    h_name = name;
+    h_count = count;
+    h_mean = v;
+    h_p50 = v;
+    h_p95 = v;
+    h_p99 = v;
+    h_max = v;
+  }
+
+let test_diff_appeared_vanished () =
+  (* a zero-count histogram side carries NaN statistics and a zero
+     baseline series has no relative delta: both used to emit NaN/inf
+     rel deltas that polluted the --fail-on-change ranking; they must
+     now surface as explicit appeared/vanished verdicts *)
+  let nan = Float.nan in
+  let a =
+    {
+      (art "A" ~series:[ ("errs", 0.0); ("drops", 3.0); ("m", 100.0) ]
+         ~breakdown:[])
+      with
+      Obs.Artifacts.a_hists =
+        [ mk_hist "n0" "lat" ~count:0.0 ~v:nan; mk_hist "n1" "lat" ~count:5.0 ~v:40.0 ];
+    }
+  in
+  let b =
+    {
+      (art "B" ~series:[ ("errs", 7.0); ("drops", 0.0); ("m", 100.0) ]
+         ~breakdown:[])
+      with
+      Obs.Artifacts.a_hists =
+        [ mk_hist "n0" "lat" ~count:9.0 ~v:55.0; mk_hist "n1" "lat" ~count:0.0 ~v:nan ];
+    }
+  in
+  let d = Obs.Diff.diff ~threshold:0.10 a b in
+  (* no NaN/inf may reach the ranked numeric changes *)
+  List.iter
+    (fun c ->
+      check_bool "change rel finite" true (Float.is_finite c.Obs.Diff.d_rel))
+    d.Obs.Diff.df_changes;
+  check_bool "zero->nonzero series appeared" true
+    (List.mem ("metric", "errs", "appeared") d.Obs.Diff.df_verdicts);
+  check_bool "nonzero->zero series vanished" true
+    (List.mem ("metric", "drops", "vanished") d.Obs.Diff.df_verdicts);
+  check_bool "zero-count hist side appeared" true
+    (List.mem ("hist", "n0/lat", "appeared") d.Obs.Diff.df_verdicts);
+  check_bool "counted hist going quiet vanished" true
+    (List.mem ("hist", "n1/lat", "vanished") d.Obs.Diff.df_verdicts);
+  check_bool "unchanged series not flagged" false
+    (List.exists
+       (fun c -> c.Obs.Diff.d_key = "m")
+       d.Obs.Diff.df_changes);
+  check_bool "verdicts count as significant" true (Obs.Diff.significant d);
+  (* zero-count on both sides is not drift *)
+  let a0 =
+    { (art "A" ~series:[] ~breakdown:[]) with
+      Obs.Artifacts.a_hists = [ mk_hist "n0" "lat" ~count:0.0 ~v:nan ] }
+  in
+  let b0 =
+    { (art "A" ~series:[] ~breakdown:[]) with
+      Obs.Artifacts.a_hists = [ mk_hist "n0" "lat" ~count:0.0 ~v:nan ] }
+  in
+  let q = Obs.Diff.diff ~threshold:0.10 a0 b0 in
+  check_bool "both-zero hists quiet" false (Obs.Diff.significant q)
+
 (* ------------------------------------------------------------------ *)
 (* Dashboard final frame                                               *)
 (* ------------------------------------------------------------------ *)
@@ -382,7 +449,11 @@ let () =
             test_gate_emit_roundtrip;
         ] );
       ( "diff",
-        [ Alcotest.test_case "significance" `Quick test_diff_significance ] );
+        [
+          Alcotest.test_case "significance" `Quick test_diff_significance;
+          Alcotest.test_case "appeared/vanished" `Quick
+            test_diff_appeared_vanished;
+        ] );
       ( "dashboard",
         [
           Alcotest.test_case "guaranteed final frame" `Quick

@@ -70,6 +70,19 @@ let test_summarize_percentiles () =
   check_int "max" 1000 s.Loadgen.max;
   check_int "elapsed" 123 s.Loadgen.elapsed
 
+let test_summarize_empty () =
+  (* [] used to raise Invalid_argument, crashing the report of any run
+     that completed zero requests (heavy chaos shedding); it must return
+     the all-zero summary instead *)
+  let s = Loadgen.summarize [] 456 in
+  check_int "n" 0 s.Loadgen.n;
+  check_int "mean" 0 s.Loadgen.mean;
+  check_int "p50" 0 s.Loadgen.p50;
+  check_int "p95" 0 s.Loadgen.p95;
+  check_int "p99" 0 s.Loadgen.p99;
+  check_int "max" 0 s.Loadgen.max;
+  check_int "elapsed preserved" 456 s.Loadgen.elapsed
+
 let test_open_loop_counts_and_rate () =
   Engine.run (fun () ->
       let rng = Prng.create ~seed:1 in
@@ -141,6 +154,7 @@ let () =
       ( "loadgen",
         [
           Alcotest.test_case "percentiles" `Quick test_summarize_percentiles;
+          Alcotest.test_case "empty samples" `Quick test_summarize_empty;
           Alcotest.test_case "open loop underload" `Quick
             test_open_loop_counts_and_rate;
           Alcotest.test_case "queueing tail" `Quick
