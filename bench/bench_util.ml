@@ -22,7 +22,14 @@ let trace_dir : string option ref = ref None
    experiment's requests (see Obs.Analysis). *)
 let breakdown_dir : string option ref = ref None
 
+(* Wall-clock start of the running experiment, stamped by
+   [with_experiment] and read back by [meta_json]: every BENCH_*.json
+   reports how long the sweep took on the host, alongside the simulated
+   results (which never depend on it). *)
+let wall_t0 = ref (Unix.gettimeofday ())
+
 let with_experiment name f =
+  wall_t0 := Unix.gettimeofday ();
   (* fresh metrics per experiment: counters, gauges and histograms must
      not bleed across experiments (handles stay interned — see
      Obs.Metrics.reset) *)
@@ -59,10 +66,19 @@ let git_describe () =
     | Unix.WEXITED 0 when line <> "" -> line
     | _ | (exception _) -> "unknown")
 
-let meta_json ~seeds ~knobs =
-  Printf.sprintf "\"meta\": {\"git\": %S, \"seeds\": [%s], \"knobs\": {%s}}"
+let meta_json ?wallclock_s ?(domains = 1) ~seeds ~knobs () =
+  let wall =
+    match wallclock_s with
+    | Some w -> w
+    | None -> Unix.gettimeofday () -. !wall_t0
+  in
+  Printf.sprintf
+    "\"meta\": {\"git\": %S, \"seeds\": [%s], \"wallclock_s\": %.3f, \
+     \"domains\": %d, \"cores\": %d, \"knobs\": {%s}}"
     (git_describe ())
     (String.concat ", " (List.map string_of_int seeds))
+    wall domains
+    (Sim.Domains.recommended ())
     (String.concat ", " knobs)
 
 let current_slug = ref "untitled"

@@ -192,7 +192,7 @@ let write_json sweeps path =
               Printf.sprintf "\"rates_per_shard_rps\": [%s]"
                 (String.concat ", "
                    (List.map (Printf.sprintf "%.0f") (sweep_rates ())));
-            ]));
+            ] ()));
   List.iteri
     (fun i (shards, points) ->
       Buffer.add_string buf

@@ -159,7 +159,7 @@ let write_json ~points ~fs ~headline path =
               Printf.sprintf "\"headline_net_gbps\": %d" headline_net;
               Printf.sprintf "\"headline_window\": %d" (fst headline_engine);
               Printf.sprintf "\"headline_streams\": %d" (snd headline_engine);
-            ]));
+            ] ()));
   Buffer.add_string buf "  \"points\": [\n";
   List.iteri
     (fun i p ->

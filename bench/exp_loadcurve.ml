@@ -221,7 +221,7 @@ let write_json ~off ~on path =
               Printf.sprintf "\"rates_rps\": [%s]"
                 (String.concat ", "
                    (List.map (Printf.sprintf "%.0f") (sweep_rates ())));
-            ]));
+            ] ()));
   json_of_variant buf ~vname:"fastpath-off" ~fast:false off;
   Buffer.add_string buf ",\n";
   json_of_variant buf ~vname:"fastpath-on" ~fast:true on;

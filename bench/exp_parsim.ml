@@ -1,0 +1,342 @@
+(* Extension experiment (not in the paper): the parallel simulator core.
+
+   Two sections, both about PR 10's multi-domain engine:
+
+   1. An intra-simulation microcluster run under
+      [Sim.Engine.run_sharded]: paired client/server hosts whose traffic
+      is all cross-shard and whose every RX engine has a single source,
+      so the sharded fabric's delivery schedule provably coincides with
+      the serial engine's. Each request burns a deterministic int64
+      mixing loop on the server's domain — the parallelizable load. The
+      sweep runs the same workload serially and at several domain
+      counts, asserts the simulated results (checksums, latency totals,
+      completion times, traffic census) are bit-identical everywhere,
+      and reports host wall-clock per domain count.
+
+   2. A real cluster-sweep battery fanned out over [Sim.Domains.map]
+      (whole independent simulations per OS domain, the bin/fractos
+      `chaos --seeds --domains` shape), asserting the per-task digests
+      are identical for domains=1 and domains=4.
+
+   The wall-clock speedup depends on the host: the bit-identity
+   assertions always hold, while @bench-smoke's speedup floor is tiered
+   by the "cores" field in meta (>= 4x needs an ~8-core host; a 1-core
+   CI box asserts identity only). Results go to stdout and a
+   machine-readable JSON file (default BENCH_parsim.json; see
+   EXPERIMENTS.md for the schema). *)
+
+open Fractos_sim
+module Config = Fractos_net.Config
+module Fabric = Fractos_net.Fabric
+module Node = Fractos_net.Node
+module Endpoint = Fractos_net.Endpoint
+module Stats = Fractos_net.Stats
+
+let name = "parsim"
+
+(* Set from bench/main.ml flags. [domains_arg] = 0 sweeps the default
+   ladder; --domains N sweeps [1; N]. *)
+let tiny = ref false
+let json_path = ref "BENCH_parsim.json"
+let domains_arg = ref 0
+
+let pairs () = if !tiny then 4 else 8
+let rounds () = if !tiny then 60 else 400
+let work_iters () = if !tiny then 4_000 else 40_000
+
+let domain_counts () =
+  if !domains_arg > 0 then
+    if !domains_arg = 1 then [ 1 ] else [ 1; !domains_arg ]
+  else if !tiny then [ 1; 2; 4 ]
+  else [ 1; 2; 4; 8 ]
+
+(* Deterministic CPU burn: splitmix64-style int64 mixing, a pure
+   function of (v, iters) with zero simulated cost — exactly the kind of
+   host work a parallel engine overlaps across domains. *)
+let mix_work v iters =
+  let x = ref (Int64.of_int (v + 0x51ed)) in
+  for _ = 1 to iters do
+    x := Int64.mul (Int64.logxor !x (Int64.shift_right_logical !x 31))
+           0x9E3779B97F4A7C15L;
+    x := Int64.logxor !x (Int64.shift_right_logical !x 27)
+  done;
+  Int64.to_int (Int64.logand !x 0x3FFFFFFFL)
+
+type pair_digest = {
+  pd_pair : int;
+  pd_checksum : int;
+  pd_lat_total : Time.t;
+  pd_done_at : Time.t;
+}
+
+(* The client fibers' fixed start instant: past the remote-spawn
+   lookahead hop, so serial and sharded runs issue identical schedules. *)
+let start_at = Time.ms 1
+
+let microcluster run =
+  let p = pairs () and rounds = rounds () and work = work_iters () in
+  let digests = Array.make p None in
+  let fab_out = ref None in
+  run (fun () ->
+      let fab = Fabric.create () in
+      fab_out := Some fab;
+      let shards = Engine.shard_count () in
+      let mk kind i =
+        Fabric.add_node fab ~name:(Printf.sprintf "%s%d" kind i)
+          Node.Host_cpu
+      in
+      let cl = Array.init p (mk "c") and sv = Array.init p (mk "s") in
+      let tbl = Hashtbl.create 32 in
+      Array.iteri (fun i n -> Hashtbl.replace tbl n.Node.id (i mod shards)) cl;
+      Array.iteri
+        (fun i n -> Hashtbl.replace tbl n.Node.id ((i + 1) mod shards))
+        sv;
+      Fabric.set_shard_map fab
+        (Some (fun n -> Hashtbl.find tbl n.Node.id));
+      for i = 0 to p - 1 do
+        let req_ep = Endpoint.create ~node:sv.(i) (Printf.sprintf "req%d" i) in
+        let rsp_ep = Endpoint.create ~node:cl.(i) (Printf.sprintf "rsp%d" i) in
+        Engine.spawn_on
+          ~name:(Printf.sprintf "server-%d" i)
+          ~shard:((i + 1) mod shards)
+          (fun () ->
+            for _ = 1 to rounds do
+              let v = Endpoint.recv req_ep in
+              let r = mix_work (v + i) work in
+              Endpoint.post fab ~src:sv.(i) rsp_ep ~size:128 r
+            done);
+        Engine.spawn_on
+          ~name:(Printf.sprintf "client-%d" i)
+          ~shard:(i mod shards)
+          (fun () ->
+            Engine.sleep (start_at - Engine.now ());
+            let sum = ref 0 and lat = ref 0 in
+            for k = 1 to rounds do
+              let t = Engine.now () in
+              Endpoint.post fab ~src:cl.(i) req_ep
+                ~size:(256 + (k mod 7 * 64))
+                ((i * 1_000_003) + k);
+              let r = Endpoint.recv rsp_ep in
+              sum := (!sum + r) land 0x3FFFFFFF;
+              lat := !lat + (Engine.now () - t)
+            done;
+            digests.(i) <-
+              Some
+                {
+                  pd_pair = i;
+                  pd_checksum = !sum;
+                  pd_lat_total = !lat;
+                  pd_done_at = Engine.now ();
+                })
+      done);
+  let census = Stats.census (Fabric.stats (Option.get !fab_out)) in
+  let ds = Array.to_list (Array.map Option.get digests) in
+  (ds, census)
+
+(* Aggregate simulated goodput of a microcluster digest: requests
+   completed per simulated second past the fixed start instant. A pure
+   function of the (bit-identical) digest, so it doubles as the
+   regression-gateable figure. *)
+let sim_goodput (ds, _census) =
+  let done_at = List.fold_left (fun m d -> max m d.pd_done_at) 0 ds in
+  let reqs = pairs () * rounds () in
+  let span = Time.to_s_f (done_at - start_at) in
+  if span > 0. then float_of_int reqs /. span else 0.
+
+type point = {
+  pt_domains : int;
+  pt_wall_s : float;
+  pt_speedup : float; (* vs the domains=1 sharded run *)
+  pt_identical : bool; (* vs the serial engine's digest *)
+}
+
+let measure_micro () =
+  let la = Config.min_remote_latency Config.default in
+  let timed f =
+    let t = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t)
+  in
+  let serial, serial_wall = timed (fun () -> microcluster Engine.run) in
+  let runs =
+    List.map
+      (fun d ->
+        let res, wall =
+          timed (fun () ->
+              microcluster (fun f ->
+                  Engine.run_sharded ~domains:d ~shards:(pairs ())
+                    ~lookahead:la f))
+        in
+        (d, res, wall))
+      (domain_counts ())
+  in
+  let base_wall =
+    match runs with (1, _, w) :: _ -> w | _ -> serial_wall
+  in
+  let points =
+    List.map
+      (fun (d, res, wall) ->
+        {
+          pt_domains = d;
+          pt_wall_s = wall;
+          pt_speedup = (if wall > 0. then base_wall /. wall else 1.);
+          pt_identical = res = serial;
+        })
+      runs
+  in
+  (serial, points)
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: whole-simulation fan-out over Domains.map               *)
+(* ------------------------------------------------------------------ *)
+
+(* Each task must be hermetic whether it runs on a fresh OS domain
+   (parallel: domain-local state starts clean) or sequentially on the
+   calling domain (state left over from the previous task): reset the
+   deterministic id mints and metrics either way. *)
+let prepare () =
+  Fractos_core.Controller.reset_ids ();
+  Fractos_core.Process.reset_ids ();
+  Fractos_obs.Metrics.reset ();
+  Fractos_fault.Retry.reset_counters ()
+
+let cluster_rates () =
+  if !tiny then [ 600_000.; 2_500_000. ]
+  else [ 600_000.; 1_200_000.; 1_800_000.; 2_500_000. ]
+
+let cluster_n () = if !tiny then 300 else 1000
+
+let cluster_digest rate =
+  let p = Exp_cluster.saturation_point ~shards:4 ~rate ~n:(cluster_n ()) in
+  Printf.sprintf "rate=%.0f ok=%d err=%d cross=%d goodput=%.3f p99=%.3f"
+    rate p.Exp_cluster.pt_ok p.Exp_cluster.pt_err p.Exp_cluster.pt_cross
+    p.Exp_cluster.pt_goodput p.Exp_cluster.pt_p99_us
+
+let cluster_fanout_domains () = if !domains_arg > 0 then !domains_arg else 4
+
+let measure_cluster () =
+  let tasks = cluster_rates () in
+  let timed f =
+    let t = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t)
+  in
+  let d1, wall1 =
+    timed (fun () -> Domains.map ~domains:1 ~prepare cluster_digest tasks)
+  in
+  let dn, walln =
+    timed (fun () ->
+        Domains.map
+          ~domains:(cluster_fanout_domains ())
+          ~prepare cluster_digest tasks)
+  in
+  (d1 = dn, List.length tasks, wall1, walln)
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_json ~points ~goodput ~cluster path =
+  let cluster_ok, cluster_tasks, wall1, walln = cluster in
+  let all_identical =
+    cluster_ok && List.for_all (fun p -> p.pt_identical) points
+  in
+  let best =
+    List.fold_left
+      (fun (bd, bs) p ->
+        if p.pt_speedup > bs then (p.pt_domains, p.pt_speedup) else (bd, bs))
+      (1, 1.0) points
+  in
+  let max_domains =
+    List.fold_left (fun m p -> max m p.pt_domains) 1 points
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"parsim\",\n  \"schema\": 1,\n  \"tiny\": \
+        %b,\n  %s,\n  \"identical\": %b,\n  \"points\": [\n"
+       !tiny
+       (Bench_util.meta_json ~domains:max_domains ~seeds:[]
+          ~knobs:
+            [
+              Printf.sprintf "\"tiny\": %b" !tiny;
+              Printf.sprintf "\"pairs\": %d" (pairs ());
+              Printf.sprintf "\"rounds\": %d" (rounds ());
+              Printf.sprintf "\"work_iters\": %d" (work_iters ());
+              Printf.sprintf "\"domain_counts\": [%s]"
+                (String.concat ", "
+                   (List.map string_of_int (domain_counts ())));
+            ] ())
+       all_identical);
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"domains\": %d, \"wallclock_s\": %.4f, \"speedup_vs_1\": \
+            %.3f, \"identical\": %b, \"sim_goodput_rps\": %.1f}%s\n"
+           p.pt_domains p.pt_wall_s p.pt_speedup p.pt_identical goodput
+           (if i = List.length points - 1 then "" else ",")))
+    points;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n  \"cluster\": {\"identical\": %b, \"tasks\": %d, \
+        \"domains\": %d, \"wallclock_1_s\": %.4f, \"wallclock_n_s\": \
+        %.4f},\n"
+       cluster_ok cluster_tasks
+       (cluster_fanout_domains ())
+       wall1 walln);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"headline\": {\"cores\": %d, \"best_domains\": %d, \
+        \"best_speedup\": %.3f, \"identical\": %b}\n}\n"
+       (Domains.recommended ()) (fst best) (snd best) all_identical);
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "[wrote %s]@." path
+
+let run () =
+  Bench_util.section
+    "Extension: parallel simulator core — wall-clock vs domains, \
+     bit-identical simulated results";
+  let serial, points = measure_micro () in
+  let goodput = sim_goodput serial in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.pt_domains;
+          Printf.sprintf "%.4f" p.pt_wall_s;
+          Printf.sprintf "%.2fx" p.pt_speedup;
+          (if p.pt_identical then "yes" else "NO");
+        ])
+      points
+  in
+  Bench_util.table
+    ~header:[ "domains"; "wall-clock s"; "speedup"; "identical" ]
+    ~rows;
+  Format.printf
+    "[microcluster: %d pairs x %d rounds, sim goodput %.0f req/s, host \
+     cores %d]@."
+    (pairs ()) (rounds ()) goodput
+    (Domains.recommended ());
+  let ((cluster_ok, tasks, wall1, walln) as cluster) = measure_cluster () in
+  Format.printf
+    "[cluster fan-out: %d tasks, domains 1 -> %d: %.3fs -> %.3fs, digests \
+     %s]@."
+    tasks
+    (cluster_fanout_domains ())
+    wall1 walln
+    (if cluster_ok then "identical" else "DIVERGED");
+  (if not (cluster_ok && List.for_all (fun p -> p.pt_identical) points) then
+     let divergent =
+       List.filter_map
+         (fun p ->
+           if p.pt_identical then None else Some (string_of_int p.pt_domains))
+         points
+     in
+     Format.printf
+       "[WARNING: determinism violated — divergent domain counts: %s%s]@."
+       (String.concat ", " divergent)
+       (if cluster_ok then "" else " (cluster fan-out)"));
+  write_json ~points ~goodput ~cluster !json_path

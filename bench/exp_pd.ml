@@ -159,7 +159,7 @@ let write_json points path =
                    (List.map string_of_int (decode_counts ())));
               Printf.sprintf "\"kv_bytes\": [%s]"
                 (String.concat ", " (List.map string_of_int (kv_sizes ())));
-            ]));
+            ] ()));
   List.iteri
     (fun i p ->
       Buffer.add_string buf

@@ -7,7 +7,9 @@
 #    pre-crash capability usable after reboot, live/tombstone accounting
 #    balances) on ten fixed seeds under the default fault spec;
 # 2. the same seed run twice must produce bit-identical reports
-#    (deterministic fault injection — the repro contract of HACKING.md).
+#    (deterministic fault injection — the repro contract of HACKING.md);
+# 3. the ten-seed battery fanned over 4 OS domains (--seeds 1-10
+#    --domains 4) must match the single-domain battery byte for byte.
 set -eu
 
 fractos=$1
@@ -78,5 +80,28 @@ for wl in faceverify fs mixed copy xshard pd; do
     exit 1
   fi
 done
+
+# The parallel-battery contract: fanning the ten-seed battery over 4 OS
+# domains (Sim.Domains.map) must reproduce the single-domain output byte
+# for byte — each seed's report, journal and counters come from an
+# isolated per-domain simulation, printed in seed order.
+echo "== chaos: seed battery domains=1 vs domains=4, byte-identical"
+if ! "$fractos" chaos --seeds 1-10 --journal --domains 1 \
+    > "$tmp/battery-d1.txt" 2>&1; then
+  echo "chaos --seeds 1-10 --domains 1 FAILED:"
+  cat "$tmp/battery-d1.txt"
+  exit 1
+fi
+if ! "$fractos" chaos --seeds 1-10 --journal --domains 4 \
+    > "$tmp/battery-d4.txt" 2>&1; then
+  echo "chaos --seeds 1-10 --domains 4 FAILED:"
+  cat "$tmp/battery-d4.txt"
+  exit 1
+fi
+if ! cmp -s "$tmp/battery-d1.txt" "$tmp/battery-d4.txt"; then
+  echo "chaos seed battery diverges between domains=1 and domains=4:"
+  diff "$tmp/battery-d1.txt" "$tmp/battery-d4.txt" || true
+  exit 1
+fi
 
 echo "== chaos OK"

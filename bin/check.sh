@@ -1,7 +1,9 @@
 #!/bin/sh
 # Repo health check: build, tests, formatting (if ocamlformat is
-# installed) and the smoke runs (trace / breakdown / seeded chaos gate /
-# audit; see bin/smoke.sh and bin/chaos.sh). Run from the repo root:
+# installed) and the smoke runs (trace / breakdown / seeded chaos gate —
+# including the chaos seed battery byte-diffed across domains=1 and
+# domains=4 — / audit; see bin/smoke.sh and bin/chaos.sh). Run from the
+# repo root:
 # ./bin/check.sh
 # The same checks are wired as a dune alias: dune build @check
 set -eu

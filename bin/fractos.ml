@@ -569,8 +569,26 @@ let census_cmd batch =
 
 (* ---------------- chaos -------------------------------------------- *)
 
-let chaos_cmd seed faults workload clients requests journal journal_cap
-    sample_keep sample_threshold_us slo top =
+(* --seeds accepts "A-B" (inclusive range) or "a,b,c". *)
+let parse_seeds s =
+  let bad () =
+    Format.eprintf "fractos chaos: bad --seeds spec %S (want A-B or a,b,c)@."
+      s;
+    exit 2
+  in
+  match String.index_opt s '-' with
+  | Some i when i > 0 -> (
+    try
+      let a = int_of_string (String.sub s 0 i) in
+      let b = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      if b < a then bad () else List.init (b - a + 1) (fun k -> a + k)
+    with _ -> bad ())
+  | _ -> (
+    try List.map int_of_string (String.split_on_char ',' (String.trim s))
+    with _ -> bad ())
+
+let chaos_cmd seed seeds domains faults workload clients requests journal
+    journal_cap sample_keep sample_threshold_us slo top =
   let module F = Fractos_fault in
   let spec =
     match F.Spec.of_string faults with
@@ -589,11 +607,6 @@ let chaos_cmd seed faults workload clients requests journal journal_cap
         workload;
       exit 2
   in
-  if journal then begin
-    Obs.Journal.reset ();
-    Obs.Journal.set_capacity journal_cap;
-    Obs.Journal.set_enabled true
-  end;
   let sampling =
     match (sample_keep, sample_threshold_us) with
     | None, None -> None
@@ -602,40 +615,113 @@ let chaos_cmd seed faults workload clients requests journal journal_cap
         ( Time.us (Option.value ~default:1000 threshold),
           Option.value ~default:0.01 keep )
   in
-  let slo =
-    if not slo then None
-    else Some (Obs.Slo.create (Obs.Slo.make ~latency:(Time.ms 1) "chaos"))
-  in
-  let report =
-    F.Chaos.run ~clients ~requests ~workload ?sampling ?slo ~top ~spec ~seed
-      ()
-  in
-  List.iter print_endline (F.Chaos.to_lines report);
-  (if sampling <> None then begin
-     let retained = Obs.Sampler.retained () in
-     let n = List.length retained in
-     Printf.printf "retained traces (%d):\n" n;
-     List.iteri
-       (fun i (id, reason) ->
-         if i < 16 then
-           Printf.printf "  trace %d (%s)\n" id
-             (Obs.Sampler.reason_name reason)
-         else if i = 16 then Printf.printf "  ... (%d more)\n" (n - 16))
-       retained;
-     match Obs.Sampler.exemplars () with
-     | [] -> ()
-     | ex ->
-       Printf.printf "exemplars (histogram bucket -> retained trace):\n";
-       List.iter
-         (fun (hist, _k, upper, trace) ->
-           Printf.printf "  %s le=%.0fns -> trace %d\n" hist upper trace)
-         ex
-   end);
-  if journal then begin
-    Obs.Journal.set_enabled false;
-    Format.printf "@.%a" Obs.Journal.dump ()
-  end;
-  if not (F.Chaos.passed report) then exit 1
+  match seeds with
+  | None ->
+    (* Single-seed path: print as we go. *)
+    if journal then begin
+      Obs.Journal.reset ();
+      Obs.Journal.set_capacity journal_cap;
+      Obs.Journal.set_enabled true
+    end;
+    let slo =
+      if not slo then None
+      else Some (Obs.Slo.create (Obs.Slo.make ~latency:(Time.ms 1) "chaos"))
+    in
+    let report =
+      F.Chaos.run ~clients ~requests ~workload ?sampling ?slo ~top ~spec ~seed
+        ()
+    in
+    List.iter print_endline (F.Chaos.to_lines report);
+    (if sampling <> None then begin
+       let retained = Obs.Sampler.retained () in
+       let n = List.length retained in
+       Printf.printf "retained traces (%d):\n" n;
+       List.iteri
+         (fun i (id, reason) ->
+           if i < 16 then
+             Printf.printf "  trace %d (%s)\n" id
+               (Obs.Sampler.reason_name reason)
+           else if i = 16 then Printf.printf "  ... (%d more)\n" (n - 16))
+         retained;
+       match Obs.Sampler.exemplars () with
+       | [] -> ()
+       | ex ->
+         Printf.printf "exemplars (histogram bucket -> retained trace):\n";
+         List.iter
+           (fun (hist, _k, upper, trace) ->
+             Printf.printf "  %s le=%.0fns -> trace %d\n" hist upper trace)
+           ex
+     end);
+    if journal then begin
+      Obs.Journal.set_enabled false;
+      Format.printf "@.%a" Obs.Journal.dump ()
+    end;
+    if not (F.Chaos.passed report) then exit 1
+  | Some sspec ->
+    (* Multi-seed battery, fanned out over [domains] OS domains via
+       Domains.map. Each task renders its seed's complete output (report,
+       sampler retention, journal dump) to a string *inside* the task —
+       journal and sampler state are per-domain — and the coordinator
+       prints in seed order, so stdout is byte-identical for any domain
+       count. *)
+    let seeds = parse_seeds sspec in
+    let run_one seed =
+      let buf = Buffer.create 4096 in
+      let line fmt =
+        Printf.ksprintf
+          (fun s ->
+            Buffer.add_string buf s;
+            Buffer.add_char buf '\n')
+          fmt
+      in
+      if journal then begin
+        Obs.Journal.reset ();
+        Obs.Journal.set_capacity journal_cap;
+        Obs.Journal.set_enabled true
+      end;
+      let slo =
+        if not slo then None
+        else Some (Obs.Slo.create (Obs.Slo.make ~latency:(Time.ms 1) "chaos"))
+      in
+      let report =
+        F.Chaos.run ~clients ~requests ~workload ?sampling ?slo ~top ~spec
+          ~seed ()
+      in
+      List.iter (fun l -> line "%s" l) (F.Chaos.to_lines report);
+      (if sampling <> None then begin
+         let retained = Obs.Sampler.retained () in
+         let n = List.length retained in
+         line "retained traces (%d):" n;
+         List.iteri
+           (fun i (id, reason) ->
+             if i < 16 then
+               line "  trace %d (%s)" id (Obs.Sampler.reason_name reason)
+             else if i = 16 then line "  ... (%d more)" (n - 16))
+           retained;
+         match Obs.Sampler.exemplars () with
+         | [] -> ()
+         | ex ->
+           line "exemplars (histogram bucket -> retained trace):";
+           List.iter
+             (fun (hist, _k, upper, trace) ->
+               line "  %s le=%.0fns -> trace %d" hist upper trace)
+             ex
+       end);
+      if journal then begin
+        Obs.Journal.set_enabled false;
+        Buffer.add_string buf (Format.asprintf "@.%a" Obs.Journal.dump ())
+      end;
+      (Buffer.contents buf, F.Chaos.passed report)
+    in
+    let outputs = Domains.map ~domains ~prepare:(fun () -> ()) run_one seeds in
+    let all_ok = ref true in
+    List.iter2
+      (fun sd (out, ok) ->
+        Printf.printf "=== chaos seed %d ===\n" sd;
+        print_string out;
+        if not ok then all_ok := false)
+      seeds outputs;
+    if not !all_ok then exit 1
 
 (* ---------------- top ----------------------------------------------- *)
 
@@ -1152,14 +1238,28 @@ let chaos_t =
           ~doc:"Enable tail-based trace sampling; traces slower than \
                 $(docv) microseconds are always kept (default 1000).")
   in
+  let seeds =
+    Arg.(
+      value & opt (some string) None
+      & info [ "seeds" ] ~docv:"A-B"
+          ~doc:"Run a whole seed battery ($(docv) inclusive, or a,b,c) \
+                instead of one --seed; each seed's full output is printed \
+                in seed order and is byte-identical for any --domains.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"OS domains to fan a --seeds battery over (default 1).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run workloads under a seeded fault plan and check \
              failure-to-revocation invariants (exit 1 on violation)")
     Term.(
-      const chaos_cmd $ seed $ faults $ workload $ clients $ chaos_requests
-      $ journal $ journal_cap $ sample_keep $ sample_threshold_us $ slo_flag
-      $ top_flag)
+      const chaos_cmd $ seed $ seeds $ domains $ faults $ workload $ clients
+      $ chaos_requests $ journal $ journal_cap $ sample_keep
+      $ sample_threshold_us $ slo_flag $ top_flag)
 
 let top_t =
   let rate =

@@ -2,8 +2,10 @@ open State
 
 type t = ctrl
 
-let next_ctrl_id = ref 0
-let next_copy_id = ref 0
+(* Domain-local: controller ids seed the shard map and copy ids name
+   sessions, so sibling simulations must mint from their own counters. *)
+let next_ctrl_id : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let next_copy_id : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let config ctrl = Net.Fabric.config ctrl.fabric
 let kind ctrl = ctrl.cnode.Net.Node.kind
@@ -1096,6 +1098,7 @@ let do_copy_pull ctrl ~src ~dst (rr : unit rreply) =
           match locate ctrl dst with
           | None -> rreply_to ctrl rr (Error Error.Ctrl_unreachable)
           | Some dst_ctrl ->
+            let next_copy_id = Domain.DLS.get next_copy_id in
             incr next_copy_id;
             let copy_id = !next_copy_id in
             if pipelined cfg then
@@ -1877,6 +1880,7 @@ let reject_peer msg =
 (* ------------------------------------------------------------------ *)
 
 let create fabric ~node =
+  let next_ctrl_id = Domain.DLS.get next_ctrl_id in
   incr next_ctrl_id;
   let id = !next_ctrl_id in
   let cfg = Net.Fabric.config fabric in
@@ -2183,8 +2187,8 @@ let dir_incoherences ctrl =
    identical controller and copy-session ids. Call only between engine
    runs. *)
 let reset_ids () =
-  next_ctrl_id := 0;
-  next_copy_id := 0
+  Domain.DLS.get next_ctrl_id := 0;
+  Domain.DLS.get next_copy_id := 0
 
 type memory_report = {
   mr_proc_buffers : int;

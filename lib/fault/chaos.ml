@@ -91,6 +91,7 @@ let run ?(clients = 6) ?(requests = 24) ?(workload = Mixed) ?config ?sampling
   Core.Process.reset_ids ();
   Obs.Metrics.reset ();
   Obs.Span.reset ();
+  Obs.Journal.reset ();
   Obs.Audit.reset ();
   Obs.Audit.set_capacity (1 lsl 20);
   Obs.Audit.set_enabled true;

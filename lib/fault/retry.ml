@@ -29,9 +29,13 @@ let default_retryable = function
       true
   | _ -> false
 
-let retry_count = ref 0
-let retries () = !retry_count
-let reset_counters () = retry_count := 0
+(* Domain-local so sibling simulations (Sim.Domains.map) count their own
+   retries; chaos resets per run. *)
+let retry_count : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let retries () = !(Domain.DLS.get retry_count)
+let reset_counters () = Domain.DLS.get retry_count := 0
 
 let with_timeout ~timeout f =
   let iv = Sim.Ivar.create () in
@@ -60,7 +64,7 @@ let run ?(policy = default) ?(retryable = default_retryable)
                  (Core.Error.to_string e))
              ());
         refresh e;
-        incr retry_count;
+        incr (Domain.DLS.get retry_count);
         Sim.Engine.sleep (backoff policy ~attempt);
         go (attempt + 1)
     | Error _ -> r

@@ -2,7 +2,10 @@ type 'a t = {
   name : string;
   node : Node.t;
   chan : 'a Sim.Channel.t;
-  mutable next_seq : int;
+  (* Atomic because senders assign sequence numbers from *their* shard;
+     dedup only needs uniqueness per endpoint, not a global order, so
+     atomicity is all the cross-shard case requires. *)
+  next_seq : int Atomic.t;
   seen : (int, unit) Hashtbl.t;
   order : int Queue.t;
   dup_discards : Obs.Metrics.counter;
@@ -21,7 +24,7 @@ let create ~node ?(capacity = 0) name =
     name;
     node;
     chan = Sim.Channel.create ();
-    next_seq = 0;
+    next_seq = Atomic.make 0;
     seen = Hashtbl.create 64;
     order = Queue.create ();
     dup_discards =
@@ -33,8 +36,7 @@ let create ~node ?(capacity = 0) name =
 let set_overflow ep f = ep.overflow <- Some f
 
 let post fab ~src ep ?cls ~size msg =
-  let seq = ep.next_seq in
-  ep.next_seq <- seq + 1;
+  let seq = Atomic.fetch_and_add ep.next_seq 1 in
   Fabric.send fab ~src ~dst:ep.node ?cls ~size (fun () ->
       if Hashtbl.mem ep.seen seq then Obs.Metrics.incr ep.dup_discards
       else begin

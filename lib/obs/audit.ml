@@ -10,7 +10,7 @@
    other capspaces, invokes, eventual revocation — can be stitched back
    together with {!lineage}.
 
-   Like Span, collection is process-global and off by default; when
+   Like Span, collection is domain-local and off by default; when
    disabled every record site is one branch. *)
 
 type kind =
@@ -50,35 +50,60 @@ type event = {
   au_detail : string;
 }
 
-let enabled_flag = ref false
-let capacity = ref 65_536
-let ring : event Queue.t = Queue.create ()
-let seq = ref 0
-let n_evicted = ref 0
-let by_kind : (kind, int) Hashtbl.t = Hashtbl.create 8
+(* Domain-local, like Span: fresh per sibling simulation, adopted by
+   sharded-engine worker domains via Engine.register_domain_import. *)
+type state = {
+  mutable a_enabled : bool;
+  mutable a_capacity : int;
+  a_ring : event Queue.t;
+  mutable a_next : int;
+  mutable a_evicted : int;
+  a_by_kind : (kind, int) Hashtbl.t;
+}
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        a_enabled = false;
+        a_capacity = 65_536;
+        a_ring = Queue.create ();
+        a_next = 0;
+        a_evicted = 0;
+        a_by_kind = Hashtbl.create 8;
+      })
+
+let st () = Domain.DLS.get state_key
+
+let () =
+  Sim.Engine.register_domain_import (fun () ->
+      let s = st () in
+      fun () -> Domain.DLS.set state_key s)
+
+let enabled () = (st ()).a_enabled
+let set_enabled b = (st ()).a_enabled <- b
 
 let set_capacity n =
-  capacity := max 1 n;
-  while Queue.length ring > !capacity do
-    ignore (Queue.pop ring);
-    incr n_evicted
+  let s = st () in
+  s.a_capacity <- max 1 n;
+  while Queue.length s.a_ring > s.a_capacity do
+    ignore (Queue.pop s.a_ring);
+    s.a_evicted <- s.a_evicted + 1
   done
 
 let reset () =
-  Queue.clear ring;
-  seq := 0;
-  n_evicted := 0;
-  Hashtbl.reset by_kind
+  let s = st () in
+  Queue.clear s.a_ring;
+  s.a_next <- 0;
+  s.a_evicted <- 0;
+  Hashtbl.reset s.a_by_kind
 
 let record ~node ~kind ~ctrl ~epoch ~oid ?(pid = -1) ?(cid = -1)
     ?(detail = "") () =
-  if !enabled_flag then begin
+  let s = st () in
+  if s.a_enabled then begin
     let ev =
       {
-        au_seq = !seq;
+        au_seq = s.a_next;
         au_time = Sim.Engine.now ();
         au_node = node;
         au_kind = kind;
@@ -90,24 +115,26 @@ let record ~node ~kind ~ctrl ~epoch ~oid ?(pid = -1) ?(cid = -1)
         au_detail = detail;
       }
     in
-    incr seq;
-    Hashtbl.replace by_kind kind
-      (1 + match Hashtbl.find_opt by_kind kind with Some n -> n | None -> 0);
-    Queue.add ev ring;
-    if Queue.length ring > !capacity then begin
-      ignore (Queue.pop ring);
-      incr n_evicted
+    s.a_next <- s.a_next + 1;
+    Hashtbl.replace s.a_by_kind kind
+      (1
+      + match Hashtbl.find_opt s.a_by_kind kind with Some n -> n | None -> 0);
+    Queue.add ev s.a_ring;
+    if Queue.length s.a_ring > s.a_capacity then begin
+      ignore (Queue.pop s.a_ring);
+      s.a_evicted <- s.a_evicted + 1
     end
   end
 
-let events () = List.of_seq (Queue.to_seq ring)
-let count () = Queue.length ring
-let evicted () = !n_evicted
+let events () = List.of_seq (Queue.to_seq (st ()).a_ring)
+let count () = Queue.length (st ()).a_ring
+let evicted () = (st ()).a_evicted
 
 let summary () =
+  let s = st () in
   List.filter_map
     (fun k ->
-      match Hashtbl.find_opt by_kind k with
+      match Hashtbl.find_opt s.a_by_kind k with
       | Some n when n > 0 -> Some (k, n)
       | _ -> None)
     kinds

@@ -35,50 +35,80 @@ type event = {
   j_trace : int;
 }
 
-let enabled_flag = ref false
-let cap = ref 16_384
-let min_sev = ref Debug
-let ring : event Queue.t = Queue.create ()
-let seq = ref 0
-let n_overflowed = ref 0
-let overflow_by_sev = Array.make 4 0
-let n_suppressed = ref 0
-let by_kind : (string, int) Hashtbl.t = Hashtbl.create 32
+(* Domain-local state: sibling simulations (Sim.Domains.map) get fresh
+   journals; sharded-engine worker domains adopt the coordinator's
+   (Engine.register_domain_import). *)
+type state = {
+  mutable j_enabled : bool;
+  mutable j_cap : int;
+  mutable j_min_sev : severity;
+  j_ring : event Queue.t;
+  mutable j_next : int;
+  mutable j_overflowed : int;
+  j_overflow_by_sev : int array;
+  mutable j_suppressed : int;
+  j_by_kind : (string, int) Hashtbl.t;
+}
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
-let capacity () = !cap
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        j_enabled = false;
+        j_cap = 16_384;
+        j_min_sev = Debug;
+        j_ring = Queue.create ();
+        j_next = 0;
+        j_overflowed = 0;
+        j_overflow_by_sev = Array.make 4 0;
+        j_suppressed = 0;
+        j_by_kind = Hashtbl.create 32;
+      })
 
-let drop_oldest () =
-  let ev = Queue.pop ring in
-  incr n_overflowed;
+let st () = Domain.DLS.get state_key
+
+let () =
+  Sim.Engine.register_domain_import (fun () ->
+      let s = st () in
+      fun () -> Domain.DLS.set state_key s)
+
+let enabled () = (st ()).j_enabled
+let set_enabled b = (st ()).j_enabled <- b
+let capacity () = (st ()).j_cap
+
+let drop_oldest s =
+  let ev = Queue.pop s.j_ring in
+  s.j_overflowed <- s.j_overflowed + 1;
   let r = severity_rank ev.j_sev in
-  overflow_by_sev.(r) <- overflow_by_sev.(r) + 1
+  s.j_overflow_by_sev.(r) <- s.j_overflow_by_sev.(r) + 1
 
 let set_capacity n =
-  cap := max 1 n;
-  while Queue.length ring > !cap do
-    drop_oldest ()
+  let s = st () in
+  s.j_cap <- max 1 n;
+  while Queue.length s.j_ring > s.j_cap do
+    drop_oldest s
   done
 
-let set_min_severity s = min_sev := s
-let min_severity () = !min_sev
+let set_min_severity sev = (st ()).j_min_sev <- sev
+let min_severity () = (st ()).j_min_sev
 
 let reset () =
-  Queue.clear ring;
-  seq := 0;
-  n_overflowed := 0;
-  Array.fill overflow_by_sev 0 4 0;
-  n_suppressed := 0;
-  Hashtbl.reset by_kind
+  let s = st () in
+  Queue.clear s.j_ring;
+  s.j_next <- 0;
+  s.j_overflowed <- 0;
+  Array.fill s.j_overflow_by_sev 0 4 0;
+  s.j_suppressed <- 0;
+  Hashtbl.reset s.j_by_kind
 
 let record_lazy ~node ~sev ~kind ~detail () =
-  if !enabled_flag then
-    if severity_rank sev < severity_rank !min_sev then incr n_suppressed
+  let s = st () in
+  if s.j_enabled then
+    if severity_rank sev < severity_rank s.j_min_sev then
+      s.j_suppressed <- s.j_suppressed + 1
     else begin
       let ev =
         {
-          j_seq = !seq;
+          j_seq = s.j_next;
           j_time = Sim.Engine.now ();
           j_node = node;
           j_sev = sev;
@@ -87,25 +117,25 @@ let record_lazy ~node ~sev ~kind ~detail () =
           j_trace = Sim.Engine.get_ctx ();
         }
       in
-      incr seq;
-      Hashtbl.replace by_kind kind
-        (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind kind));
-      if Queue.length ring >= !cap then drop_oldest ();
-      Queue.add ev ring
+      s.j_next <- s.j_next + 1;
+      Hashtbl.replace s.j_by_kind kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt s.j_by_kind kind));
+      if Queue.length s.j_ring >= s.j_cap then drop_oldest s;
+      Queue.add ev s.j_ring
     end
 
 let record ~node ~sev ~kind ?(detail = "") () =
   record_lazy ~node ~sev ~kind ~detail:(fun () -> detail) ()
 
-let events () = List.of_seq (Queue.to_seq ring)
-let count () = Queue.length ring
-let recorded () = !seq
-let overflowed () = !n_overflowed
-let overflowed_by_severity s = overflow_by_sev.(severity_rank s)
-let suppressed () = !n_suppressed
+let events () = List.of_seq (Queue.to_seq (st ()).j_ring)
+let count () = Queue.length (st ()).j_ring
+let recorded () = (st ()).j_next
+let overflowed () = (st ()).j_overflowed
+let overflowed_by_severity s = (st ()).j_overflow_by_sev.(severity_rank s)
+let suppressed () = (st ()).j_suppressed
 
 let summary () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) (st ()).j_by_kind []
   |> List.sort compare
 
 let pp_event fmt ev =
@@ -118,13 +148,14 @@ let pp_event fmt ev =
     (if ev.j_detail = "" then "" else " " ^ ev.j_detail)
 
 let dump fmt () =
+  let s = st () in
   Format.fprintf fmt "journal: %d retained / %d recorded" (count ())
     (recorded ());
-  if !n_overflowed > 0 then
-    Format.fprintf fmt " (%d overflowed: %d warn, %d error)" !n_overflowed
+  if s.j_overflowed > 0 then
+    Format.fprintf fmt " (%d overflowed: %d warn, %d error)" s.j_overflowed
       (overflowed_by_severity Warn)
       (overflowed_by_severity Error);
-  if !n_suppressed > 0 then
-    Format.fprintf fmt " (%d below min severity)" !n_suppressed;
+  if s.j_suppressed > 0 then
+    Format.fprintf fmt " (%d below min severity)" s.j_suppressed;
   Format.fprintf fmt "@.";
-  Queue.iter (fun ev -> Format.fprintf fmt "  %a@." pp_event ev) ring
+  Queue.iter (fun ev -> Format.fprintf fmt "  %a@." pp_event ev) s.j_ring

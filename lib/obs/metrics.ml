@@ -34,8 +34,18 @@ let bucket_value k =
 let bucket_upper k = Float.exp2 (float_of_int k /. float_of_int sub)
 
 (* ------------------------------------------------------------------ *)
-(* Registry: one process-global table per instrument family, keyed by
-   (node, name). Find-or-create so instrumentation sites stay one-liners.
+(* Registry: one table per instrument family, keyed by (node, name).
+   Find-or-create so instrumentation sites stay one-liners.
+
+   The registry is domain-local (Domain.DLS), so independent simulations
+   on sibling domains (Sim.Domains.map) record into disjoint registries.
+   Worker domains of a *sharded* engine instead adopt the coordinator's
+   registry via Engine.register_domain_import, so one simulation has one
+   registry no matter how many domains drain it; interning is mutex-
+   guarded for that case. Instrument handles themselves are unguarded —
+   the sharded-engine contract is that a node's instruments are only
+   touched by the shard that owns the node (the window barrier provides
+   the cross-window ordering).
 
    Reset is generational: instruments are interned forever (so a handle
    obtained before a reset is the same physical object returned after it),
@@ -47,35 +57,59 @@ let bucket_upper k = Float.exp2 (float_of_int k /. float_of_int sub)
 
 type key = string * string
 
-let generation = ref 0
-let counters : (key, counter) Hashtbl.t = Hashtbl.create 64
-let gauges : (key, gauge) Hashtbl.t = Hashtbl.create 64
-let histograms : (key, histogram) Hashtbl.t = Hashtbl.create 64
+type registry = {
+  mutable generation : int;
+  counters : (key, counter) Hashtbl.t;
+  gauges : (key, gauge) Hashtbl.t;
+  histograms : (key, histogram) Hashtbl.t;
+}
+
+let registry_key : registry Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        generation = 0;
+        counters = Hashtbl.create 64;
+        gauges = Hashtbl.create 64;
+        histograms = Hashtbl.create 64;
+      })
+
+let reg () = Domain.DLS.get registry_key
+
+let () =
+  Sim.Engine.register_domain_import (fun () ->
+      let r = reg () in
+      fun () -> Domain.DLS.set registry_key r)
+
+let intern_mutex = Mutex.create ()
 
 let refresh_counter c =
-  if c.c_gen <> !generation then begin
+  let gen = (reg ()).generation in
+  if c.c_gen <> gen then begin
     c.c_v <- 0;
-    c.c_gen <- !generation
+    c.c_gen <- gen
   end
 
 let refresh_gauge g =
-  if g.g_gen <> !generation then begin
+  let gen = (reg ()).generation in
+  if g.g_gen <> gen then begin
     g.g_v <- 0;
     g.g_max <- 0;
-    g.g_gen <- !generation
+    g.g_gen <- gen
   end
 
 let refresh_histogram h =
-  if h.h_gen <> !generation then begin
+  let gen = (reg ()).generation in
+  if h.h_gen <> gen then begin
     h.h_n <- 0;
     h.h_sum <- 0.;
     h.h_max <- 0;
     Array.fill h.h_buckets 0 n_buckets 0;
-    h.h_gen <- !generation
+    h.h_gen <- gen
   end
 
 let intern tbl make refresh ~node name =
   let key = (node, name) in
+  Mutex.lock intern_mutex;
   let v =
     match Hashtbl.find_opt tbl key with
     | Some v -> v
@@ -84,27 +118,32 @@ let intern tbl make refresh ~node name =
       Hashtbl.add tbl key v;
       v
   in
+  Mutex.unlock intern_mutex;
   refresh v;
   v
 
 let counter ~node name =
-  intern counters (fun () -> { c_v = 0; c_gen = !generation }) refresh_counter
-    ~node name
+  let r = reg () in
+  intern r.counters
+    (fun () -> { c_v = 0; c_gen = r.generation })
+    refresh_counter ~node name
 
 let gauge ~node name =
-  intern gauges
-    (fun () -> { g_v = 0; g_max = 0; g_gen = !generation })
+  let r = reg () in
+  intern r.gauges
+    (fun () -> { g_v = 0; g_max = 0; g_gen = r.generation })
     refresh_gauge ~node name
 
 let histogram ~node name =
-  intern histograms
+  let r = reg () in
+  intern r.histograms
     (fun () ->
       {
         h_n = 0;
         h_sum = 0.;
         h_max = 0;
         h_buckets = Array.make n_buckets 0;
-        h_gen = !generation;
+        h_gen = r.generation;
       })
     refresh_histogram ~node name
 
@@ -177,7 +216,9 @@ let p50 h = percentile h 0.50
 let p95 h = percentile h 0.95
 let p99 h = percentile h 0.99
 
-let reset () = Stdlib.incr generation
+let reset () =
+  let r = reg () in
+  r.generation <- r.generation + 1
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot: live (current-generation) instruments, sorted by key — the
@@ -185,22 +226,23 @@ let reset () = Stdlib.incr generation
 (* ------------------------------------------------------------------ *)
 
 let live_keys tbl stamp =
-  Hashtbl.fold (fun k v acc -> if stamp v = !generation then k :: acc else acc)
-    tbl []
+  let gen = (reg ()).generation in
+  Hashtbl.fold (fun k v acc -> if stamp v = gen then k :: acc else acc) tbl []
   |> List.sort compare
 
 let counters_list () =
+  let tbl = (reg ()).counters in
   List.map
-    (fun ((node, name) as key) ->
-      (node, name, (Hashtbl.find counters key).c_v))
-    (live_keys counters (fun c -> c.c_gen))
+    (fun ((node, name) as key) -> (node, name, (Hashtbl.find tbl key).c_v))
+    (live_keys tbl (fun c -> c.c_gen))
 
 let gauges_list () =
+  let tbl = (reg ()).gauges in
   List.map
     (fun ((node, name) as key) ->
-      let g = Hashtbl.find gauges key in
+      let g = Hashtbl.find tbl key in
       (node, name, g.g_v, g.g_max))
-    (live_keys gauges (fun g -> g.g_gen))
+    (live_keys tbl (fun g -> g.g_gen))
 
 type histogram_snapshot = {
   hs_count : int;
@@ -220,10 +262,11 @@ let snapshot_histogram h =
   { hs_count = h.h_n; hs_sum = h.h_sum; hs_max = h.h_max; hs_buckets = !buckets }
 
 let histograms_list () =
+  let tbl = (reg ()).histograms in
   List.map
     (fun ((node, name) as key) ->
-      (node, name, snapshot_histogram (Hashtbl.find histograms key)))
-    (live_keys histograms (fun h -> h.h_gen))
+      (node, name, snapshot_histogram (Hashtbl.find tbl key)))
+    (live_keys tbl (fun h -> h.h_gen))
 
 (* ------------------------------------------------------------------ *)
 (* Text dump                                                           *)
@@ -254,7 +297,7 @@ let pp fmt () =
     fprintf fmt "latency histograms (us):@.";
     List.iter
       (fun (node, name, _) ->
-        let h = Hashtbl.find histograms (node, name) in
+        let h = Hashtbl.find (reg ()).histograms (node, name) in
         fprintf fmt
           "  %-10s %-28s n=%-6d p50=%-9.2f p95=%-9.2f p99=%-9.2f max=%-9.2f \
            mean=%.2f@."

@@ -19,17 +19,42 @@ let reason_name = function
   | Kept_slow -> "slow"
   | Kept_head -> "head"
 
-let enabled_flag = ref false
-let threshold_ns = ref 1_000_000 (* 1ms *)
-let keep_frac = ref 0.01
-let acc = ref 0.0
+(* Domain-local state, same discipline as Span/Journal/Audit: fresh per
+   sibling simulation, adopted by sharded-engine worker domains. *)
+type state = {
+  mutable sm_enabled : bool;
+  mutable sm_threshold_ns : int; (* default 1ms *)
+  mutable sm_keep_frac : float;
+  mutable sm_acc : float;
+  sm_retained_tbl : (Span.id, reason) Hashtbl.t;
+  sm_retained_order : (Span.id * reason) Queue.t;
+  sm_exemplar_tbl : (string * int, Span.id) Hashtbl.t;
+  mutable sm_seen : int;
+  mutable sm_healthy : int;
+  sm_kept_counts : int array;
+}
 
-let retained_tbl : (Span.id, reason) Hashtbl.t = Hashtbl.create 256
-let retained_order : (Span.id * reason) Queue.t = Queue.create ()
-let exemplar_tbl : (string * int, Span.id) Hashtbl.t = Hashtbl.create 64
-let n_seen = ref 0
-let n_healthy = ref 0
-let kept_counts = Array.make 4 0
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sm_enabled = false;
+        sm_threshold_ns = 1_000_000;
+        sm_keep_frac = 0.01;
+        sm_acc = 0.0;
+        sm_retained_tbl = Hashtbl.create 256;
+        sm_retained_order = Queue.create ();
+        sm_exemplar_tbl = Hashtbl.create 64;
+        sm_seen = 0;
+        sm_healthy = 0;
+        sm_kept_counts = Array.make 4 0;
+      })
+
+let st () = Domain.DLS.get state_key
+
+let () =
+  Sim.Engine.register_domain_import (fun () ->
+      let s = st () in
+      fun () -> Domain.DLS.set state_key s)
 
 let reason_rank = function
   | Kept_error -> 0
@@ -37,91 +62,100 @@ let reason_rank = function
   | Kept_slow -> 2
   | Kept_head -> 3
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+let enabled () = (st ()).sm_enabled
+let set_enabled b = (st ()).sm_enabled <- b
 
 let configure ?threshold ?keep () =
-  Option.iter (fun t -> threshold_ns := max 0 t) threshold;
-  Option.iter (fun k -> keep_frac := Float.min 1.0 (Float.max 0.0 k)) keep
+  let s = st () in
+  Option.iter (fun t -> s.sm_threshold_ns <- max 0 t) threshold;
+  Option.iter
+    (fun k -> s.sm_keep_frac <- Float.min 1.0 (Float.max 0.0 k))
+    keep
 
-let threshold () = !threshold_ns
-let keep_fraction () = !keep_frac
+let threshold () = (st ()).sm_threshold_ns
+let keep_fraction () = (st ()).sm_keep_frac
 
 let reset () =
-  acc := 0.0;
-  Hashtbl.reset retained_tbl;
-  Queue.clear retained_order;
-  Hashtbl.reset exemplar_tbl;
-  n_seen := 0;
-  n_healthy := 0;
-  Array.fill kept_counts 0 4 0
+  let s = st () in
+  s.sm_acc <- 0.0;
+  Hashtbl.reset s.sm_retained_tbl;
+  Queue.clear s.sm_retained_order;
+  Hashtbl.reset s.sm_exemplar_tbl;
+  s.sm_seen <- 0;
+  s.sm_healthy <- 0;
+  Array.fill s.sm_kept_counts 0 4 0
 
-let classify ~latency ~outcome =
+let classify s ~latency ~outcome =
   match outcome with
   | Err _ -> Some Kept_error
   | Shed -> Some Kept_shed
   | Ok_ ->
-    if latency >= !threshold_ns then Some Kept_slow
+    if latency >= s.sm_threshold_ns then Some Kept_slow
     else begin
       (* healthy: deterministic rate accumulator *)
-      incr n_healthy;
-      acc := !acc +. !keep_frac;
-      if !acc >= 1.0 then begin
-        acc := !acc -. 1.0;
+      s.sm_healthy <- s.sm_healthy + 1;
+      s.sm_acc <- s.sm_acc +. s.sm_keep_frac;
+      if s.sm_acc >= 1.0 then begin
+        s.sm_acc <- s.sm_acc -. 1.0;
         Some Kept_head
       end
       else None
     end
 
 let observe ~trace ~latency ~outcome ?hist () =
-  if not !enabled_flag then false
+  let s = st () in
+  if not s.sm_enabled then false
   else begin
-    incr n_seen;
-    match classify ~latency ~outcome with
+    s.sm_seen <- s.sm_seen + 1;
+    match classify s ~latency ~outcome with
     | None -> false
     | Some reason ->
-      kept_counts.(reason_rank reason) <- kept_counts.(reason_rank reason) + 1;
+      s.sm_kept_counts.(reason_rank reason) <-
+        s.sm_kept_counts.(reason_rank reason) + 1;
       if trace = 0 then false
       else begin
-        if not (Hashtbl.mem retained_tbl trace) then begin
-          Hashtbl.add retained_tbl trace reason;
-          Queue.add (trace, reason) retained_order
+        if not (Hashtbl.mem s.sm_retained_tbl trace) then begin
+          Hashtbl.add s.sm_retained_tbl trace reason;
+          Queue.add (trace, reason) s.sm_retained_order
         end;
         Option.iter
           (fun h ->
             let key = (h, Metrics.bucket_of latency) in
-            if not (Hashtbl.mem exemplar_tbl key) then
-              Hashtbl.add exemplar_tbl key trace)
+            if not (Hashtbl.mem s.sm_exemplar_tbl key) then
+              Hashtbl.add s.sm_exemplar_tbl key trace)
           hist;
         true
       end
   end
 
-let retained () = List.of_seq (Queue.to_seq retained_order)
-let is_retained id = Hashtbl.mem retained_tbl id
-let retained_reason id = Hashtbl.find_opt retained_tbl id
+let retained () = List.of_seq (Queue.to_seq (st ()).sm_retained_order)
+let is_retained id = Hashtbl.mem (st ()).sm_retained_tbl id
+let retained_reason id = Hashtbl.find_opt (st ()).sm_retained_tbl id
 
 let exemplars () =
   Hashtbl.fold
     (fun (h, k) trace acc -> (h, k, Metrics.bucket_upper k, trace) :: acc)
-    exemplar_tbl []
+    (st ()).sm_exemplar_tbl []
   |> List.sort compare
 
-let exemplar ~hist ~bucket = Hashtbl.find_opt exemplar_tbl (hist, bucket)
-let seen () = !n_seen
-let kept () = Array.fold_left ( + ) 0 kept_counts
-let kept_by r = kept_counts.(reason_rank r)
-let healthy_seen () = !n_healthy
+let exemplar ~hist ~bucket = Hashtbl.find_opt (st ()).sm_exemplar_tbl (hist, bucket)
+let seen () = (st ()).sm_seen
+let kept () = Array.fold_left ( + ) 0 (st ()).sm_kept_counts
+let kept_by r = (st ()).sm_kept_counts.(reason_rank r)
+let healthy_seen () = (st ()).sm_healthy
 
 let prune_spans () =
-  Span.prune (fun sp -> Hashtbl.mem retained_tbl (Span.root_of sp.Span.sp_id))
+  let s = st () in
+  Span.prune (fun sp ->
+      Hashtbl.mem s.sm_retained_tbl (Span.root_of sp.Span.sp_id))
 
 let pp_summary fmt () =
+  let s = st () in
   Format.fprintf fmt
     "sampler: seen=%d kept=%d (error=%d shed=%d slow=%d head=%d of %d \
      healthy) threshold=%s keep=%.3f exemplars=%d"
-    !n_seen (kept ()) (kept_by Kept_error) (kept_by Kept_shed)
-    (kept_by Kept_slow) (kept_by Kept_head) !n_healthy
-    (Sim.Time.to_string !threshold_ns)
-    !keep_frac
-    (Hashtbl.length exemplar_tbl)
+    s.sm_seen (kept ()) (kept_by Kept_error) (kept_by Kept_shed)
+    (kept_by Kept_slow) (kept_by Kept_head) s.sm_healthy
+    (Sim.Time.to_string s.sm_threshold_ns)
+    s.sm_keep_frac
+    (Hashtbl.length s.sm_exemplar_tbl)

@@ -14,42 +14,66 @@ type t = {
   mutable sp_attrs : (string * string) list;
 }
 
-(* One global collector per process: engines do not nest and runs are
-   deterministic, so a singleton keeps every instrumentation site free of
-   plumbing. Disabled (the default) every entry point is a cheap bool
-   check. *)
-let enabled_flag = ref false
-let limit = ref 500_000
-let next_id = ref 1
-let collected : t Queue.t = Queue.create ()
-let index : (int, t) Hashtbl.t = Hashtbl.create 1024
-let n_dropped = ref 0
+(* One collector per domain: engines do not nest and runs are
+   deterministic, so a domain-local singleton keeps every instrumentation
+   site free of plumbing while independent simulations on sibling domains
+   (Sim.Domains.map) stay isolated. Worker domains of a sharded engine
+   adopt the coordinator's collector (Engine.register_domain_import).
+   Disabled (the default) every entry point is a cheap bool check. *)
+type state = {
+  mutable s_enabled : bool;
+  mutable s_limit : int;
+  mutable s_next_id : int;
+  s_collected : t Queue.t;
+  s_index : (int, t) Hashtbl.t;
+  mutable s_dropped : int;
+}
 
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
-let set_limit n = limit := max 1 n
-let get_limit () = !limit
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        s_enabled = false;
+        s_limit = 500_000;
+        s_next_id = 1;
+        s_collected = Queue.create ();
+        s_index = Hashtbl.create 1024;
+        s_dropped = 0;
+      })
+
+let st () = Domain.DLS.get state_key
+
+let () =
+  Sim.Engine.register_domain_import (fun () ->
+      let s = st () in
+      fun () -> Domain.DLS.set state_key s)
+
+let enabled () = (st ()).s_enabled
+let set_enabled b = (st ()).s_enabled <- b
+let set_limit n = (st ()).s_limit <- max 1 n
+let get_limit () = (st ()).s_limit
 
 let reset () =
-  Queue.clear collected;
-  Hashtbl.reset index;
-  next_id := 1;
-  n_dropped := 0
+  let s = st () in
+  Queue.clear s.s_collected;
+  Hashtbl.reset s.s_index;
+  s.s_next_id <- 1;
+  s.s_dropped <- 0
 
 let current () = Sim.Engine.get_ctx ()
 
 let add kind ?parent ?(attrs = []) ?(node = "") ~name () =
-  if not !enabled_flag then 0
-  else if Queue.length collected >= !limit then begin
-    incr n_dropped;
+  let s = st () in
+  if not s.s_enabled then 0
+  else if Queue.length s.s_collected >= s.s_limit then begin
+    s.s_dropped <- s.s_dropped + 1;
     0
   end
   else begin
     let parent =
       match parent with Some p -> p | None -> Sim.Engine.get_ctx ()
     in
-    let id = !next_id in
-    incr next_id;
+    let id = s.s_next_id in
+    s.s_next_id <- id + 1;
     let now = Sim.Engine.now () in
     let sp =
       {
@@ -64,8 +88,8 @@ let add kind ?parent ?(attrs = []) ?(node = "") ~name () =
         sp_attrs = attrs;
       }
     in
-    Queue.add sp collected;
-    Hashtbl.replace index id sp;
+    Queue.add sp s.s_collected;
+    Hashtbl.replace s.s_index id sp;
     id
   end
 
@@ -76,12 +100,12 @@ let instant ?attrs ?node ~name () =
   ignore (add Instant ?attrs ?node ~name ())
 
 let set_attr id k v =
-  match Hashtbl.find_opt index id with
+  match Hashtbl.find_opt (st ()).s_index id with
   | Some sp -> sp.sp_attrs <- (k, v) :: sp.sp_attrs
   | None -> ()
 
 let finish ?(attrs = []) id =
-  match Hashtbl.find_opt index id with
+  match Hashtbl.find_opt (st ()).s_index id with
   | None -> ()
   | Some sp ->
     if not sp.sp_finished then begin
@@ -91,7 +115,7 @@ let finish ?(attrs = []) id =
     end
 
 let with_ ?attrs ?node ~name f =
-  if not !enabled_flag then f ()
+  if not (st ()).s_enabled then f ()
   else begin
     let id = start ?attrs ?node ~name () in
     let saved = Sim.Engine.get_ctx () in
@@ -103,29 +127,30 @@ let with_ ?attrs ?node ~name f =
       f
   end
 
-let all () = List.of_seq (Queue.to_seq collected)
-let count () = Queue.length collected
-let dropped () = !n_dropped
-let find = Hashtbl.find_opt index
+let all () = List.of_seq (Queue.to_seq (st ()).s_collected)
+let count () = Queue.length (st ()).s_collected
+let dropped () = (st ()).s_dropped
+let find id = Hashtbl.find_opt (st ()).s_index id
 
 let rec root_of id =
-  match Hashtbl.find_opt index id with
+  match Hashtbl.find_opt (st ()).s_index id with
   | Some sp when sp.sp_parent <> 0 -> root_of sp.sp_parent
   | _ -> id
 
 let prune keep =
+  let s = st () in
   let kept = Queue.create () in
   let removed = ref 0 in
   Queue.iter
     (fun sp ->
       if keep sp then Queue.add sp kept
       else begin
-        Hashtbl.remove index sp.sp_id;
+        Hashtbl.remove s.s_index sp.sp_id;
         incr removed
       end)
-    collected;
-  Queue.clear collected;
-  Queue.transfer kept collected;
+    s.s_collected;
+  Queue.clear s.s_collected;
+  Queue.transfer kept s.s_collected;
   !removed
 
 let pp_span fmt sp =

@@ -840,6 +840,267 @@ let test_ctx_ivar_preserves_awaiter () =
       Ivar.await iv;
       check_int "awaiter keeps its own ctx" 4 (Engine.get_ctx ()))
 
+(* ------------------------------------------------------------------ *)
+(* Heap property suite: the invariants the sharded engine leans on      *)
+(* ------------------------------------------------------------------ *)
+
+(* Pop order is total on (time, seq): the popped key sequence is exactly
+   the input keys sorted lexicographically. *)
+let prop_heap_total_order =
+  QCheck.Test.make ~name:"heap pop order total on (time, seq)" ~count:300
+    QCheck.(list (pair (int_bound 100) (int_bound 100)))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun (t, s) -> Heap.push h ~time:t ~seq:s ()) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (t, s, ()) -> drain ((t, s) :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort compare keys)
+
+(* Model-based: under any interleaving of pushes and pops the heap agrees
+   with a sorted-list model. *)
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap stable under interleaved push/pop" ~count:300
+    QCheck.(list (option (pair (int_bound 50) (int_bound 50))))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some (t, s) ->
+            Heap.push h ~time:t ~seq:s (t, s);
+            model := List.sort compare ((t, s) :: !model);
+            Heap.length h = List.length !model
+          | None -> (
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | Some (t, s, _), m :: rest ->
+              model := rest;
+              (t, s) = m
+            | _ -> false))
+        ops)
+
+(* The engine's clamp discipline: every push is clamped to the last popped
+   time (schedule_at never schedules into the past), and then no pop ever
+   yields a time below the last popped one — the invariant that lets a
+   shard's [now] advance monotonically within a window. *)
+let prop_heap_never_rewinds =
+  QCheck.Test.make ~name:"heap never pops below last popped time" ~count:300
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let h = Heap.create () in
+      let now = ref 0 and seq = ref 0 and ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some t ->
+            incr seq;
+            Heap.push h ~time:(max t !now) ~seq:!seq ()
+          | None -> (
+            match Heap.pop h with
+            | Some (t, _, ()) ->
+              if t < !now then ok := false;
+              now := t
+            | None -> ()))
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlock reports name surviving fibers                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_deadlock_names_survivors () =
+  match
+    Engine.run ~name:"root" (fun () ->
+        Engine.spawn ~name:"stuck-worker" (fun () ->
+            ignore (Ivar.await (Ivar.create () : unit Ivar.t)));
+        Engine.spawn (fun () -> Engine.sleep 5);
+        ignore (Ivar.await (Ivar.create () : unit Ivar.t)))
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+    check_bool "names root" true (contains ~sub:"\"root\"" msg);
+    check_bool "names survivor" true (contains ~sub:"\"stuck-worker\"" msg)
+
+let test_deadlock_root_only_keeps_format () =
+  match
+    Engine.run ~name:"lonely" (fun () ->
+        ignore (Ivar.await (Ivar.create () : unit Ivar.t)))
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+    check_bool "historic one-liner" true
+      (contains ~sub:"fiber \"lonely\" never finished" msg);
+    check_bool "no survivor tail" false (contains ~sub:"still blocked" msg)
+
+let test_finished_fiber_not_reported () =
+  match
+    Engine.run ~name:"root" (fun () ->
+        Engine.spawn ~name:"done-worker" (fun () -> Engine.sleep 1);
+        ignore (Ivar.await (Ivar.create () : unit Ivar.t)))
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+    check_bool "finished fiber absent" false (contains ~sub:"done-worker" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A cross-shard workload: one named fiber per shard ticks on its own
+   decorrelated Prng stream and relays hops to other shards via post_to.
+   Per-shard logs are only ever written by their owner shard; the merged
+   (sorted) log must be identical for every domain count. *)
+let sharded_workload ~shards ~domains =
+  let la = 50 in
+  let logs = Array.make shards [] in
+  let v =
+    Engine.run_sharded ~shards ~domains ~lookahead:la (fun () ->
+        for s = 0 to shards - 1 do
+          Engine.spawn_on
+            ~name:(Printf.sprintf "worker-%d" s)
+            ~shard:s
+            (fun () ->
+              let g = Prng.stream ~seed:42 ~id:s in
+              for i = 1 to 6 do
+                Engine.sleep (10 + Prng.int g 40);
+                let me = Engine.shard_id () in
+                logs.(me) <- (Engine.now (), s, i, 0) :: logs.(me);
+                let dst = (s + i) mod shards in
+                Engine.post_to ~shard:dst
+                  ~time:(Engine.now () + la + Prng.int g 20)
+                  (fun () ->
+                    logs.(dst) <- (Engine.now (), s, i, 1) :: logs.(dst))
+              done)
+        done;
+        17)
+  in
+  (v, List.sort compare (List.concat_map List.rev (Array.to_list logs)))
+
+let test_sharded_identical_across_domains () =
+  let reference = sharded_workload ~shards:4 ~domains:1 in
+  List.iter
+    (fun domains ->
+      let r = sharded_workload ~shards:4 ~domains in
+      check_bool
+        (Printf.sprintf "domains=%d matches domains=1" domains)
+        true
+        (r = reference))
+    [ 2; 3; 4; 8 ];
+  let v, log = reference in
+  check_int "main result" 17 v;
+  check_int "log entries" (4 * 6 * 2) (List.length log)
+
+let test_sharded_one_shard_is_serial () =
+  (* shards=1 delegates to the serial engine: same clock, same result. *)
+  let run_once f = f (fun () ->
+      Engine.sleep 30;
+      Engine.spawn (fun () -> Engine.sleep 100);
+      Engine.now ())
+  in
+  let serial = run_once (fun m -> Engine.run m) in
+  let sharded =
+    run_once (fun m -> Engine.run_sharded ~shards:1 ~lookahead:10 m)
+  in
+  check_int "same result" serial sharded
+
+let test_sharded_shard_identity () =
+  Engine.run_sharded ~shards:3 ~domains:2 ~lookahead:20 (fun () ->
+      check_int "root on shard 0" 0 (Engine.shard_id ());
+      check_int "shard count" 3 (Engine.shard_count ());
+      check_int "lookahead" 20 (Engine.lookahead ());
+      let seen = Array.make 3 (-1) in
+      for s = 0 to 2 do
+        Engine.spawn_on ~shard:s (fun () ->
+            seen.(s) <- Engine.shard_id ())
+      done;
+      (* Outlive the remote spawns (they begin one lookahead out). *)
+      Engine.sleep 100;
+      Array.iteri
+        (fun s got -> check_int (Printf.sprintf "fiber %d placed" s) s got)
+        seen)
+
+let test_sharded_conservative_violation () =
+  match
+    Engine.run_sharded ~shards:2 ~lookahead:50 (fun () ->
+        Engine.sleep 1;
+        (* now + 10 < window_end: conservatively illegal *)
+        Engine.post_to ~shard:1 ~time:(Engine.now () + 10) (fun () -> ()))
+  with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    check_bool "names the violation" true
+      (contains ~sub:"conservative violation" msg)
+
+let test_sharded_failure_propagates () =
+  let boom = Failure "shard-1 exploded" in
+  match
+    Engine.run_sharded ~shards:2 ~domains:2 ~lookahead:10 (fun () ->
+        Engine.spawn_on ~shard:1 (fun () ->
+            Engine.sleep 5;
+            raise boom);
+        Engine.sleep 1_000)
+  with
+  | () -> Alcotest.fail "expected failure to propagate"
+  | exception Failure m -> Alcotest.(check string) "error" "shard-1 exploded" m
+
+let test_sharded_deadlock_names_remote_survivor () =
+  match
+    Engine.run_sharded ~shards:2 ~lookahead:10 (fun () ->
+        Engine.spawn_on ~name:"remote-stuck" ~shard:1 (fun () ->
+            ignore (Ivar.await (Ivar.create () : unit Ivar.t)));
+        ignore (Ivar.await (Ivar.create () : unit Ivar.t)))
+  with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+    check_bool "names remote survivor" true (contains ~sub:"remote-stuck" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Domains: parallel independent simulations                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_domains_map_order () =
+  let tasks = List.init 10 (fun i -> i) in
+  let f i =
+    (* each task is its own little simulation, proving isolation *)
+    Engine.run (fun () ->
+        Engine.sleep (100 - (10 * i));
+        i * i)
+  in
+  let expect = List.map (fun i -> i * i) tasks in
+  Alcotest.(check (list int))
+    "serial path ordered" expect
+    (Domains.map ~domains:1 ~prepare:(fun () -> ()) f tasks);
+  Alcotest.(check (list int))
+    "parallel path ordered" expect
+    (Domains.map ~domains:4 ~prepare:(fun () -> ()) f tasks)
+
+let test_domains_map_prepare_runs_per_task () =
+  let calls = Atomic.make 0 in
+  let r =
+    Domains.map ~domains:3
+      ~prepare:(fun () -> Atomic.incr calls)
+      (fun i -> i + 1)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4; 5; 6 ] r;
+  check_int "prepare per task" 5 (Atomic.get calls)
+
+let test_domains_map_first_failure_wins () =
+  let f i = if i >= 3 then failwith (Printf.sprintf "task-%d" i) else i in
+  match Domains.map ~domains:4 ~prepare:(fun () -> ()) f [ 0; 1; 2; 3; 4; 5 ] with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure m ->
+    Alcotest.(check string) "first by task order" "task-3" m
+
 let () =
   Alcotest.run "fractos_sim"
     [
@@ -849,6 +1110,40 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "growth" `Quick test_heap_growth;
           qtest prop_heap_sorted;
+          qtest prop_heap_total_order;
+          qtest prop_heap_interleaved;
+          qtest prop_heap_never_rewinds;
+        ] );
+      ( "deadlock",
+        [
+          Alcotest.test_case "names survivors" `Quick
+            test_deadlock_names_survivors;
+          Alcotest.test_case "root-only format" `Quick
+            test_deadlock_root_only_keeps_format;
+          Alcotest.test_case "finished fiber absent" `Quick
+            test_finished_fiber_not_reported;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "identical across domains" `Quick
+            test_sharded_identical_across_domains;
+          Alcotest.test_case "one shard is serial" `Quick
+            test_sharded_one_shard_is_serial;
+          Alcotest.test_case "shard identity" `Quick test_sharded_shard_identity;
+          Alcotest.test_case "conservative violation" `Quick
+            test_sharded_conservative_violation;
+          Alcotest.test_case "failure propagates" `Quick
+            test_sharded_failure_propagates;
+          Alcotest.test_case "deadlock names remote survivor" `Quick
+            test_sharded_deadlock_names_remote_survivor;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_domains_map_order;
+          Alcotest.test_case "prepare per task" `Quick
+            test_domains_map_prepare_runs_per_task;
+          Alcotest.test_case "first failure wins" `Quick
+            test_domains_map_first_failure_wins;
         ] );
       ( "prng",
         [
